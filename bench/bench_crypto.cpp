@@ -1,0 +1,140 @@
+// Micro-benchmarks for the crypto substrate (google-benchmark). These are
+// the calibration baselines the experiment benches' cost models refer to.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/sha256.hpp"
+
+using namespace aseck;
+using namespace aseck::crypto;
+using util::Bytes;
+
+namespace {
+
+const Bytes kKey16(16, 0x42);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  const Aes aes(kKey16);
+  Block in{}, out;
+  for (auto _ : state) {
+    aes.encrypt_block(in.data(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesCtr(benchmark::State& state) {
+  const Aes aes(kKey16);
+  const Block iv{};
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes_ctr(aes, iv, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Cmac(benchmark::State& state) {
+  const Cmac cmac(kKey16);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0xCD);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmac.tag(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Cmac)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0xEF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes msg(256, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(kKey16, msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_AesGcmEncrypt(benchmark::State& state) {
+  const Aes aes(kKey16);
+  const Bytes iv(12, 0x01);
+  const Bytes pt(static_cast<std::size_t>(state.range(0)), 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes_gcm_encrypt(aes, iv, {}, pt));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesGcmEncrypt)->Arg(64)->Arg(1024);
+
+void BM_SheKdf(benchmark::State& state) {
+  Block key{};
+  key.fill(0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(she_kdf(key, she_key_update_enc_c()));
+  }
+}
+BENCHMARK(BM_SheKdf);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  Drbg rng(7u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const Digest digest = sha256(util::from_string("bench message"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign_digest(digest));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  Drbg rng(7u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const Digest digest = sha256(util::from_string("bench message"));
+  const EcdsaSignature sig = key.sign_digest(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_verify_digest(key.public_key(), digest, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_EcdhShared(benchmark::State& state) {
+  Drbg rng(8u);
+  const auto a = EcdsaPrivateKey::generate(rng);
+  const auto b = EcdsaPrivateKey::generate(rng);
+  const Bytes info = util::from_string("kdf");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdh_shared(a, b.public_key(), info, 32));
+  }
+}
+BENCHMARK(BM_EcdhShared);
+
+void BM_DrbgBytes(benchmark::State& state) {
+  Drbg rng(9u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bytes(static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DrbgBytes)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

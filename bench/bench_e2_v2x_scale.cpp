@@ -1,0 +1,89 @@
+// Experiment E2 — V2X verification at scale (paper §5 "Verification Needs",
+// §7 "Secure Interfaces").
+//
+// Sweeps the number of vehicles in radio range and reports per-vehicle
+// verification workload: received SPDUs/s, ECDSA verifications/s demanded,
+// CPU budget consumed (at a 350 us/verify automotive HSM cost), and the
+// verification backlog ratio — showing where full verification stops being
+// real-time feasible and sampling/prioritization becomes necessary.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "v2x/cert.hpp"
+#include "v2x/net.hpp"
+
+using namespace aseck;
+using namespace aseck::v2x;
+
+int main() {
+  std::printf("E2: V2X verification load vs vehicles in range\n");
+  std::printf("(10 Hz BSMs, 300 m range, ECDSA P-256, HSM verify = 350 us)\n\n");
+
+  benchutil::Table table({"vehicles", "rx_per_s", "verify_per_s",
+                          "hsm_util_%", "verified_ok", "rejected",
+                          "wallclock_sign+verify_ms"});
+
+  for (const int n : {2, 5, 10, 20, 40}) {
+    sim::Scheduler sched;
+    crypto::Drbg rng(42u);
+    auto root = CertificateAuthority::make_root(rng, "root",
+                                                util::SimTime::from_s(1 << 20));
+    auto pca = CertificateAuthority::make_sub(rng, "pca", root,
+                                              util::SimTime::from_s(1 << 20));
+    TrustStore trust;
+    trust.add_root(root.certificate());
+    trust.add_intermediate(pca.certificate());
+
+    V2xMedium medium(sched, 300.0, 0.0, 7);
+    std::vector<std::unique_ptr<VehicleNode>> vehicles;
+    for (int i = 0; i < n; ++i) {
+      auto batch = pca.issue_pseudonyms(rng, 1, util::SimTime::zero(),
+                                        util::SimTime::from_s(1 << 20));
+      // All within range: a dense platoon.
+      vehicles.push_back(std::make_unique<VehicleNode>(
+          sched, medium, "v" + std::to_string(i),
+          Position{static_cast<double>(5 * i), 0.0}, 25.0, 0.0, trust,
+          std::move(batch)));
+    }
+
+    const double sim_seconds = 1.0;
+    const auto wall0 = std::chrono::steady_clock::now();
+    for (auto& v : vehicles) v->start();
+    sched.run_until(util::SimTime::from_seconds_f(sim_seconds));
+    for (auto& v : vehicles) v->stop();
+    sched.run();
+    const auto wall1 = std::chrono::steady_clock::now();
+
+    std::uint64_t rx = 0, ok = 0, rej = 0;
+    for (const auto& v : vehicles) {
+      rx += v->stats().spdu_received;
+      ok += v->stats().verified_ok;
+      for (const auto& [k, c] : v->stats().rejected) rej += c;
+    }
+    const double rx_per_vehicle_s =
+        static_cast<double>(rx) / n / sim_seconds;
+    const double verify_per_s = rx_per_vehicle_s;  // full verification
+    // HSM budget: 350 us per verification.
+    const double hsm_util = verify_per_s * VehicleNode::kVerifyCostUs / 1e6;
+    table.add_row(
+        {std::to_string(n), benchutil::fmt("%.0f", rx_per_vehicle_s),
+         benchutil::fmt("%.0f", verify_per_s),
+         benchutil::fmt("%.1f", hsm_util * 100), benchutil::fmt_u(ok),
+         benchutil::fmt_u(rej),
+         benchutil::fmt("%.0f", std::chrono::duration<double, std::milli>(
+                                    wall1 - wall0)
+                                    .count())});
+  }
+  table.print();
+  std::printf(
+      "\nReading: verification demand grows linearly with neighbors (10 Hz x\n"
+      "(N-1) per vehicle). A 350 us HSM saturates at ~2860 verifications/s,\n"
+      "i.e. ~286 neighbors at BSM rates alone — dense-intersection peaks\n"
+      "plus event messages exceed that, and congested channels batch far\n"
+      "more. Full verification therefore cannot be a fixed-function choice:\n"
+      "the architecture must support sampling/prioritization modes (E10) —\n"
+      "the extensible-verification requirement the paper derives.\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Experiment E6 — gateway containment and overhead (paper §7 "Secure
+// Gateway").
+//
+// Part A: an attacker on the infotainment domain injects brake commands;
+// we compare architectures: flat bus (no gateway), gateway with routing
+// only, + firewall, + rate limit, + IDS-triggered quarantine.
+// Part B: the latency cost of the gateway on legitimate cross-domain
+// diagnostics traffic.
+
+#include <cstdio>
+
+#include "attacks/can_attacks.hpp"
+#include "bench_util.hpp"
+#include "ecu/ecu.hpp"
+#include "gateway/gateway.hpp"
+#include "ids/detectors.hpp"
+#include "util/stats.hpp"
+
+using namespace aseck;
+using util::Bytes;
+
+namespace {
+
+crypto::Block key_of(std::uint8_t b) {
+  crypto::Block k;
+  k.fill(b);
+  return k;
+}
+
+enum class Arch { kFlatBus, kRoutingOnly, kFirewall, kRateLimit, kQuarantine };
+const char* arch_name(Arch a) {
+  switch (a) {
+    case Arch::kFlatBus: return "flat bus (no gateway)";
+    case Arch::kRoutingOnly: return "gateway: routing only";
+    case Arch::kFirewall: return "gateway + firewall";
+    case Arch::kRateLimit: return "gateway + rate limit";
+    case Arch::kQuarantine: return "gateway + IDS quarantine";
+  }
+  return "?";
+}
+
+struct Outcome {
+  std::uint64_t malicious_delivered = 0;
+  std::uint64_t legit_delivered = 0;
+  double chassis_load = 0;
+};
+
+Outcome run(Arch arch) {
+  sim::Scheduler sched;
+  Outcome out;
+  const bool flat = arch == Arch::kFlatBus;
+
+  ivn::CanBus chassis(sched, "chassis", 500000);
+  std::unique_ptr<ivn::CanBus> infotainment;
+  std::unique_ptr<gateway::SecurityGateway> gw;
+  ivn::CanBus* attacker_bus = &chassis;
+
+  if (!flat) {
+    infotainment = std::make_unique<ivn::CanBus>(sched, "infotainment", 500000);
+    attacker_bus = infotainment.get();
+    gw = std::make_unique<gateway::SecurityGateway>(sched, "cgw");
+    gw->add_domain("chassis", &chassis);
+    gw->add_domain("infotainment", infotainment.get());
+    // Legit route: media telltale 0x300; the attacker abuses it plus tries
+    // the brake id 0x0F0 directly.
+    gw->add_route(0x300, "infotainment", "chassis");
+    gw->add_route(0x0F0, "infotainment", "chassis");  // mis-configured route
+    if (arch == Arch::kFirewall || arch == Arch::kRateLimit ||
+        arch == Arch::kQuarantine) {
+      gateway::FirewallRule deny_low;
+      deny_low.from_domain = "infotainment";
+      deny_low.id_min = 0x000;
+      deny_low.id_max = 0x2FF;  // safety-critical range
+      deny_low.allow = false;
+      gw->add_rule(deny_low);
+    }
+    if (arch == Arch::kRateLimit || arch == Arch::kQuarantine) {
+      gw->set_domain_rate_limit("infotainment", gateway::RateLimit{50.0, 10.0});
+    }
+  }
+
+  ecu::Ecu brake(sched, "brake", 1);
+  brake.provision(ecu::FirmwareImage{"b", 1, Bytes(16, 1)}, key_of(1),
+                  key_of(2), key_of(3));
+  brake.attach_to(&chassis);
+  brake.boot();
+  brake.subscribe(0x0F0, [&](const ivn::CanFrame& f, sim::SimTime) {
+    if (!f.data.empty() && f.data[0] == 0x66) ++out.malicious_delivered;
+  });
+  brake.subscribe(0x300, [&](const ivn::CanFrame& f, sim::SimTime) {
+    if (!f.data.empty() && f.data[0] == 0x01) ++out.legit_delivered;
+  });
+
+  // IDS tap on the chassis side drives quarantine.
+  std::unique_ptr<ids::IdsEnsemble> ensemble;
+  if (arch == Arch::kQuarantine && gw) {
+    ensemble = std::make_unique<ids::IdsEnsemble>(ids::make_default_ensemble());
+    // Train on the legitimate telltale cadence.
+    for (int i = 0; i < 100; ++i) {
+      ivn::CanFrame f;
+      f.id = 0x300;
+      f.data = Bytes{0x01};
+      ensemble->train(f, sim::SimTime::from_ms(static_cast<std::uint64_t>(i) * 100));
+    }
+    ensemble->finish_training();
+    gw->set_drop_observer([&](const std::string& domain, const ivn::CanFrame&,
+                              gateway::DropReason r) {
+      // Firewall/rate drops from a domain escalate to quarantine.
+      if (domain == "infotainment" && r != gateway::DropReason::kNoRoute &&
+          !gw->quarantined("infotainment")) {
+        gw->quarantine("infotainment");
+      }
+    });
+  }
+
+  // Legitimate telltale every 100 ms from an infotainment ECU (or the same
+  // bus when flat).
+  ecu::Ecu media(sched, "media", 2);
+  media.provision(ecu::FirmwareImage{"m", 1, Bytes(16, 1)}, key_of(1),
+                  key_of(2), key_of(3));
+  media.attach_to(attacker_bus);
+  media.boot();
+  sim::PeriodicTask telltale(
+      sched, sim::SimTime::from_ms(100),
+      [&] { media.send_frame(0x300, Bytes{0x01}); }, sim::SimTime::zero());
+
+  // Attacker: 1 kHz brake-command injection.
+  attacks::InjectionAttacker atk(sched, *attacker_bus, "attacker", 0x0F0,
+                                 sim::SimTime::from_ms(1),
+                                 [](std::uint64_t) { return Bytes(8, 0x66); });
+  atk.start();
+  sched.run_until(sim::SimTime::from_s(5));
+  atk.stop();
+  telltale.stop();
+  sched.run();
+
+  out.chassis_load = chassis.stats().bus_load(sched.now());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: gateway containment of a compromised infotainment domain\n");
+  std::printf("(1 kHz brake-command injection for 5 s; legit telltale @10 Hz)\n\n");
+
+  benchutil::Table table({"architecture", "malicious_delivered",
+                          "legit_delivered", "chassis_load_%"});
+  for (const Arch a : {Arch::kFlatBus, Arch::kRoutingOnly, Arch::kFirewall,
+                       Arch::kRateLimit, Arch::kQuarantine}) {
+    const Outcome o = run(a);
+    table.add_row({arch_name(a), benchutil::fmt_u(o.malicious_delivered),
+                   benchutil::fmt_u(o.legit_delivered),
+                   benchutil::fmt("%.1f", o.chassis_load * 100)});
+  }
+  table.print();
+
+  // Part B: forwarding latency overhead on legitimate traffic.
+  std::printf("\nGateway forwarding latency on legitimate diagnostics:\n\n");
+  benchutil::Table lat({"processing_delay_us", "end_to_end_p50_us",
+                        "end_to_end_p99_us"});
+  for (const std::uint64_t proc_us : {10u, 50u, 100u, 500u}) {
+    sim::Scheduler sched;
+    ivn::CanBus a(sched, "a", 500000), b(sched, "b", 500000);
+    gateway::SecurityGateway gw(sched, "cgw", sim::SimTime::from_us(proc_us));
+    gw.add_domain("a", &a);
+    gw.add_domain("b", &b);
+    gw.add_route(0x7DF, "a", "b");
+    crypto::Block k{};
+    ecu::Ecu tester(sched, "tester", 1), target(sched, "ecu", 2);
+    tester.provision(ecu::FirmwareImage{"t", 1, Bytes(16, 1)}, k, k, k);
+    target.provision(ecu::FirmwareImage{"e", 1, Bytes(16, 1)}, k, k, k);
+    tester.attach_to(&a);
+    target.attach_to(&b);
+    tester.boot();
+    target.boot();
+    util::Samples lats;
+    std::map<int, sim::SimTime> sent;
+    int seq = 0;
+    target.subscribe(0x7DF, [&](const ivn::CanFrame& f, sim::SimTime at) {
+      lats.add((at - sent[f.data[0]]).us());
+    });
+    for (int i = 0; i < 100; ++i) {
+      const auto at = sim::SimTime::from_ms(static_cast<std::uint64_t>(i) * 20);
+      sched.schedule_at(at, [&, i, at] {
+        sent[i % 256] = at;
+        tester.send_frame(0x7DF, Bytes{static_cast<std::uint8_t>(i % 256)});
+      });
+      ++seq;
+    }
+    sched.run();
+    lat.add_row({std::to_string(proc_us),
+                 benchutil::fmt("%.0f", lats.percentile(50)),
+                 benchutil::fmt("%.0f", lats.percentile(99))});
+  }
+  lat.print();
+  std::printf(
+      "\nReading: a flat bus delivers every forged frame; routing alone still\n"
+      "leaks via any (mis)configured route; the firewall blocks the critical\n"
+      "id range; quarantine cuts the domain entirely after first abuse. The\n"
+      "cost is a fixed per-hop forwarding latency (two serializations +\n"
+      "processing) on legitimate cross-domain traffic.\n");
+  return 0;
+}

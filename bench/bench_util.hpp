@@ -1,0 +1,52 @@
+#pragma once
+// Shared helpers for the experiment benches (bench_e1..e12): fixed-width
+// table printing so every bench emits a reproducible, diff-able report.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        std::printf("%-*s  ", static_cast<int>(width[c]), s.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+inline std::string fmt_u(unsigned long long v) { return std::to_string(v); }
+
+}  // namespace benchutil

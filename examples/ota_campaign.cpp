@@ -1,0 +1,132 @@
+// Fleet OTA campaign: a 12-vehicle fleet receives a brake-firmware update
+// through the Uptane two-repository flow. Midway, an attacker who stole the
+// DIRECTOR's targets key pushes a forged malicious image. Vehicles with
+// full-verification primaries reject it (the image repo disagrees); the two
+// legacy vehicles running partial verification accept the forgery — the
+// exact asymmetry that motivates full verification on primaries.
+
+#include <cstdio>
+#include <vector>
+
+#include "ecu/flash.hpp"
+#include "ota/client.hpp"
+
+using namespace aseck;
+using namespace aseck::ota;
+
+int main() {
+  std::printf("=== OTA fleet campaign ===\n\n");
+  crypto::Drbg rng(888u);
+  const util::SimTime now = util::SimTime::from_s(100);
+
+  Repository director(rng, "director", util::SimTime::from_s(86400));
+  Repository images(rng, "image-repo", util::SimTime::from_s(86400));
+
+  const util::Bytes brake_v7(8192, 0xB7);
+  director.add_target("brake-fw", brake_v7, 7, "brake-hw");
+  images.add_target("brake-fw", brake_v7, 7, "brake-hw");
+  director.publish(now);
+  images.publish(now);
+
+  // Fleet: 10 modern vehicles (full verification) + 2 legacy (partial).
+  struct Vehicle {
+    std::string vin;
+    bool full_verification;
+    ecu::Flash brake_flash;
+    std::uint32_t installed = 6;
+  };
+  std::vector<Vehicle> fleet;
+  for (int i = 0; i < 12; ++i) {
+    Vehicle v;
+    v.vin = "VIN" + std::to_string(1000 + i);
+    v.full_verification = i < 10;
+    v.brake_flash.provision(ecu::FirmwareImage{"brake-fw", 6, util::Bytes(8192, 0xB6)});
+    fleet.push_back(std::move(v));
+  }
+
+  // --- Phase 1: legitimate campaign ------------------------------------------
+  int updated = 0;
+  for (auto& v : fleet) {
+    if (v.full_verification) {
+      FullVerificationClient client(v.vin, director.trusted_root(),
+                                    images.trusted_root());
+      const auto out = client.fetch_and_verify(
+          director.metadata(), images.metadata(), director, images, "brake-fw",
+          "brake-hw", v.installed, now);
+      if (out.error == OtaError::kOk &&
+          install_image(v.brake_flash, "brake-fw", out.target.version,
+                        out.image, [] { return true; }) ==
+              InstallResult::kCommitted) {
+        v.installed = out.target.version;
+        ++updated;
+      }
+    } else {
+      PartialVerificationClient client(
+          v.vin, director.role_key(Role::kTargets).public_key());
+      const auto out = client.verify(director.metadata().targets, "brake-fw",
+                                     "brake-hw", v.installed, now);
+      if (out.error == OtaError::kOk) {
+        const util::Bytes* img = images.download("brake-fw");
+        if (img &&
+            install_image(v.brake_flash, "brake-fw", out.target.version, *img,
+                          [] { return true; }) == InstallResult::kCommitted) {
+          v.installed = out.target.version;
+          ++updated;
+        }
+      }
+    }
+  }
+  std::printf("phase 1 (legitimate v7 rollout): %d/12 vehicles updated\n\n",
+              updated);
+
+  // --- Phase 2: director targets key compromised ------------------------------
+  std::printf("!! attacker steals the director targets key and forges v8\n");
+  const util::Bytes evil(8192, 0x66);
+  auto& bundle = director.mutable_bundle();
+  bundle.targets.body.version += 1;
+  bundle.targets.body.targets["brake-fw"] =
+      TargetInfo{crypto::sha256_bytes(evil), evil.size(), 8, "brake-hw"};
+  director.sign_role(bundle.targets, Role::kTargets);
+  bundle.snapshot.body.version += 1;
+  bundle.snapshot.body.targets_version = bundle.targets.body.version;
+  director.sign_role(bundle.snapshot, Role::kSnapshot);
+  bundle.timestamp.body.version += 1;
+  bundle.timestamp.body.snapshot_version = bundle.snapshot.body.version;
+  bundle.timestamp.body.snapshot_hash =
+      crypto::sha256_bytes(bundle.snapshot.body.serialize());
+  director.sign_role(bundle.timestamp, Role::kTimestamp);
+
+  int full_rejected = 0, partial_compromised = 0;
+  for (auto& v : fleet) {
+    if (v.full_verification) {
+      FullVerificationClient client(v.vin, director.trusted_root(),
+                                    images.trusted_root());
+      const auto out = client.fetch_and_verify(
+          director.metadata(), images.metadata(), director, images, "brake-fw",
+          "brake-hw", v.installed, now + util::SimTime::from_s(60));
+      if (out.error != OtaError::kOk) {
+        ++full_rejected;
+        if (full_rejected == 1) {
+          std::printf("full-verification vehicles reject: %s\n",
+                      ota_error_name(out.error));
+        }
+      }
+    } else {
+      PartialVerificationClient client(
+          v.vin, director.role_key(Role::kTargets).public_key());
+      const auto out =
+          client.verify(director.metadata().targets, "brake-fw", "brake-hw",
+                        v.installed, now + util::SimTime::from_s(60));
+      if (out.error == OtaError::kOk) ++partial_compromised;
+    }
+  }
+  std::printf("\n--- campaign outcome under compromise ---\n");
+  std::printf("full verification : %d/10 vehicles REJECTED the forged image\n",
+              full_rejected);
+  std::printf("partial verification: %d/2 vehicles ACCEPTED the forged image\n",
+              partial_compromised);
+  std::printf(
+      "\nconclusion: a single director-targets key compromise defeats partial\n"
+      "verification but not the two-repository full verification flow.\n");
+  return 0;
+}

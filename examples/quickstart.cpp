@@ -1,0 +1,147 @@
+// Quickstart: build a small vehicle E/E architecture — two CAN domains
+// joined by a security gateway, SecOC-protected sensor traffic, a signed
+// security-policy update, and one OTA firmware update — then print a
+// security report.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/layers.hpp"
+#include "core/policy.hpp"
+#include "ecu/ecu.hpp"
+#include "gateway/gateway.hpp"
+#include "ota/client.hpp"
+
+using namespace aseck;
+
+int main() {
+  std::printf("=== AutoSecKit quickstart ===\n\n");
+
+  // --- 1. Vehicle bring-up ---------------------------------------------------
+  sim::Scheduler sched;
+  ivn::CanBus powertrain(sched, "powertrain", 500000);
+  ivn::CanBus telematics(sched, "telematics", 500000);
+
+  gateway::SecurityGateway cgw(sched, "central-gateway");
+  cgw.add_domain("powertrain", &powertrain);
+  cgw.add_domain("telematics", &telematics);
+  cgw.add_route(0x7DF, "telematics", "powertrain");  // diagnostics only
+
+  crypto::Block master_key;
+  master_key.fill(0x11);
+  crypto::Block boot_key;
+  boot_key.fill(0x22);
+  crypto::Block secoc_key;
+  secoc_key.fill(0x33);
+
+  ecu::Ecu engine(sched, "engine", 1);
+  ecu::Ecu brake(sched, "brake", 2);
+  ecu::Ecu tcu(sched, "telematics-unit", 3);
+  engine.provision(ecu::FirmwareImage{"engine-fw", 1, util::Bytes(4096, 0xE1)},
+                   master_key, boot_key, secoc_key);
+  brake.provision(ecu::FirmwareImage{"brake-fw", 1, util::Bytes(4096, 0xB1)},
+                  master_key, boot_key, secoc_key);
+  tcu.provision(ecu::FirmwareImage{"tcu-fw", 1, util::Bytes(4096, 0x7C)},
+                master_key, boot_key, secoc_key);
+  engine.attach_to(&powertrain);
+  brake.attach_to(&powertrain);
+  tcu.attach_to(&telematics);
+
+  std::printf("secure boot: engine=%s brake=%s tcu=%s\n",
+              engine.boot() == ecu::EcuState::kOperational ? "OK" : "FAIL",
+              brake.boot() == ecu::EcuState::kOperational ? "OK" : "FAIL",
+              tcu.boot() == ecu::EcuState::kOperational ? "OK" : "FAIL");
+
+  // --- 2. Policy-driven configuration ---------------------------------------
+  crypto::Drbg authority_rng(2024u);
+  const auto authority = crypto::EcdsaPrivateKey::generate(authority_rng);
+  core::SecurityPolicy policy;
+  policy.version = 1;
+  policy.values[core::keys::kSecocMacBytes] =
+      core::PolicyValue(std::int64_t{4});
+  policy.values[core::keys::kGatewayRateLimit] = core::PolicyValue(100.0);
+
+  core::LayerManager layers;
+  layers.bind_gateway(&cgw, {"telematics"});
+  core::PolicyStore store(authority.public_key(), policy);
+  store.subscribe([&](const core::SecurityPolicy& p) { layers.apply(p); });
+  layers.apply(store.active());
+  std::printf("policy v%u applied (SecOC MAC = %zu bytes)\n",
+              store.active().version, layers.config().secoc.mac_bytes);
+
+  // --- 3. SecOC-protected traffic -------------------------------------------
+  const ivn::SecOcChannel channel = layers.make_secoc_channel(
+      util::BytesView(secoc_key.data(), secoc_key.size()));
+  int verified = 0, rejected = 0;
+  brake.subscribe(0x0F0, [&](const ivn::CanFrame& f, sim::SimTime) {
+    if (brake.verify_secured(channel, 0x0F0, f.data).status ==
+        ivn::SecOcStatus::kOk) {
+      ++verified;
+    } else {
+      ++rejected;
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    sched.schedule_at(sim::SimTime::from_ms(static_cast<std::uint64_t>(i) * 10),
+                      [&] {
+                        engine.send_secured(channel, 0x0F0, 0x0F0,
+                                            util::Bytes{0x10, 0x27});
+                      });
+  }
+  sched.run();
+  std::printf("SecOC wheel-speed stream: %d verified, %d rejected\n", verified,
+              rejected);
+
+  // --- 4. In-field policy update (e.g. strengthen MACs) ----------------------
+  core::SecurityPolicy stronger = store.active();
+  stronger.version = 2;
+  stronger.values[core::keys::kSecocMacBytes] =
+      core::PolicyValue(std::int64_t{8});
+  const auto update_result =
+      store.apply_update(core::SignedPolicy::sign(stronger, authority));
+  std::printf("policy update to v2: %s (MAC now %zu bytes)\n",
+              update_result == core::PolicyStore::UpdateResult::kAccepted
+                  ? "accepted"
+                  : "REJECTED",
+              layers.config().secoc.mac_bytes);
+
+  // --- 5. OTA firmware update via Uptane ------------------------------------
+  crypto::Drbg ota_rng(55u);
+  ota::Repository director(ota_rng, "director", util::SimTime::from_s(3600));
+  ota::Repository images(ota_rng, "image-repo", util::SimTime::from_s(3600));
+  const util::Bytes brake_v2(4096, 0xB2);
+  director.add_target("brake-fw", brake_v2, 2, "brake-hw");
+  images.add_target("brake-fw", brake_v2, 2, "brake-hw");
+  director.publish(sched.now());
+  images.publish(sched.now());
+
+  ota::FullVerificationClient primary("tcu-primary", director.trusted_root(),
+                                      images.trusted_root());
+  const auto outcome = primary.fetch_and_verify(
+      director.metadata(), images.metadata(), director, images, "brake-fw",
+      "brake-hw", 1, sched.now());
+  if (outcome.error == ota::OtaError::kOk) {
+    const auto install = ota::install_image(brake.flash(), "brake-fw", 2,
+                                            outcome.image, [] { return true; });
+    std::printf("OTA update brake-fw v1 -> v2: verified and %s\n",
+                install == ota::InstallResult::kCommitted ? "committed"
+                                                          : "rolled back");
+  } else {
+    std::printf("OTA update failed: %s\n", ota::ota_error_name(outcome.error));
+  }
+
+  // --- 6. Report --------------------------------------------------------------
+  std::printf("\n--- security report ---\n");
+  std::printf("gateway: %llu forwarded, %llu dropped\n",
+              static_cast<unsigned long long>(cgw.stats().forwarded),
+              static_cast<unsigned long long>(cgw.stats().total_drops()));
+  std::printf("powertrain bus load: %.1f%%\n",
+              100.0 * powertrain.stats().bus_load(sched.now()));
+  std::printf("brake fw version: %u (rollback floor %u)\n",
+              brake.flash().active()->version, brake.flash().rollback_floor());
+  std::printf("policy updates: %u accepted, %u rejected\n",
+              store.updates_accepted(), store.updates_rejected());
+  return 0;
+}

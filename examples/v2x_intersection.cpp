@@ -1,0 +1,127 @@
+// V2X intersection scenario: 24 vehicles crossing an intersection with two
+// RSUs, all broadcasting IEEE 1609.2-style signed BSMs under pseudonym
+// rotation. One vehicle misbehaves (teleporting ghost positions with a valid
+// certificate); plausibility checking flags it, and the CRL revokes it.
+
+#include <cstdio>
+
+#include "v2x/cert.hpp"
+#include "v2x/net.hpp"
+
+using namespace aseck;
+using namespace aseck::v2x;
+
+int main() {
+  std::printf("=== V2X intersection scenario ===\n\n");
+  sim::Scheduler sched;
+  crypto::Drbg rng(321u);
+
+  // PKI: root -> pseudonym CA; every receiver trusts both.
+  auto root = CertificateAuthority::make_root(rng, "oem-root",
+                                              util::SimTime::from_s(1 << 20));
+  auto pca = CertificateAuthority::make_sub(rng, "pseudonym-ca", root,
+                                            util::SimTime::from_s(1 << 20));
+  Crl crl;
+  TrustStore trust;
+  trust.add_root(root.certificate());
+  trust.add_intermediate(pca.certificate());
+  trust.set_crl(&crl);
+
+  V2xMedium medium(sched, /*range_m=*/200.0, /*loss=*/0.05, /*seed=*/9);
+
+  // 24 vehicles: half eastbound, half northbound, crossing at the origin.
+  std::vector<std::unique_ptr<VehicleNode>> vehicles;
+  PseudonymPolicy policy;
+  policy.rotation_period = util::SimTime::from_s(10);
+  for (int i = 0; i < 24; ++i) {
+    auto batch = pca.issue_pseudonyms(rng, 4, util::SimTime::zero(),
+                                      util::SimTime::from_s(10));
+    const bool eastbound = i % 2 == 0;
+    const double offset = -200.0 + 10.0 * (i / 2);
+    Position start = eastbound ? Position{offset, 0.0} : Position{0.0, offset};
+    const double speed = 13.9;  // 50 km/h
+    vehicles.push_back(std::make_unique<VehicleNode>(
+        sched, medium, "veh-" + std::to_string(i), start,
+        eastbound ? speed : 0.0, eastbound ? 0.0 : speed, trust,
+        std::move(batch), policy));
+  }
+
+  // Two RSUs at the intersection corners.
+  auto make_rsu = [&](const std::string& name, Position pos) {
+    auto key = crypto::EcdsaPrivateKey::generate(rng);
+    auto cert = pca.issue(name, key.public_key(),
+                          {Psid::kRoadsideAlert, Psid::kIntersection},
+                          util::SimTime::zero(), util::SimTime::from_s(1 << 20));
+    return std::make_unique<RsuNode>(sched, medium, name, pos, trust,
+                                     std::move(cert), std::move(key));
+  };
+  auto rsu_ne = make_rsu("rsu-ne", {15, 15});
+  auto rsu_sw = make_rsu("rsu-sw", {-15, -15});
+
+  // One misbehaving vehicle: valid certificate, implausible motion.
+  struct Ghost : V2xRadio {
+    using V2xRadio::V2xRadio;
+    Position position() const override { return {5, 5}; }
+    void on_spdu(const Spdu&, util::SimTime) override {}
+  } ghost_radio("ghost");
+  medium.attach(&ghost_radio);
+  auto ghost_key = crypto::EcdsaPrivateKey::generate(rng);
+  auto ghost_cert = pca.issue("ghost", ghost_key.public_key(), {Psid::kBsm},
+                              util::SimTime::zero(), util::SimTime::from_s(1 << 20));
+  util::Rng ghost_rng(4);
+  sim::PeriodicTask ghost_task(
+      sched, util::SimTime::from_ms(100),
+      [&] {
+        Bsm bsm;
+        bsm.temp_id = 0x6e057;
+        bsm.pos = {ghost_rng.uniform_real(-200, 200),
+                   ghost_rng.uniform_real(-200, 200)};  // teleporting
+        bsm.speed_mps = 20;
+        bsm.generated = sched.now();
+        medium.broadcast(&ghost_radio,
+                         Spdu::sign(Psid::kBsm, sched.now(), bsm.serialize(),
+                                    ghost_cert, ghost_key));
+      },
+      util::SimTime::zero());
+
+  // Run 20 s of traffic.
+  for (auto& v : vehicles) v->start();
+  sched.run_until(util::SimTime::from_s(8));
+  for (auto& v : vehicles) v->stop();
+  ghost_task.stop();
+  sched.run();
+
+  // Aggregate statistics.
+  std::uint64_t sent = 0, verified = 0, flags = 0;
+  std::map<VerifyStatus, std::uint64_t> rejects;
+  for (const auto& v : vehicles) {
+    sent += v->stats().bsm_sent;
+    verified += v->stats().verified_ok;
+    flags += v->stats().misbehavior_flags;
+    for (const auto& [k, n] : v->stats().rejected) rejects[k] += n;
+  }
+  std::printf("fleet: %llu BSMs sent, %llu verifications OK\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(verified));
+  for (const auto& [k, n] : rejects) {
+    std::printf("  rejected (%s): %llu\n", verify_status_name(k),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("misbehavior flags raised: %llu (ghost vehicle detected: %s)\n",
+              static_cast<unsigned long long>(flags), flags > 20 ? "yes" : "no");
+  std::printf("RSU-NE verified %llu/%llu received\n",
+              static_cast<unsigned long long>(rsu_ne->verified()),
+              static_cast<unsigned long long>(rsu_ne->received()));
+  std::printf("medium: %llu transmitted, %llu delivered, %llu lost\n",
+              static_cast<unsigned long long>(medium.transmitted()),
+              static_cast<unsigned long long>(medium.delivered()),
+              static_cast<unsigned long long>(medium.lost()));
+
+  // Misbehavior response: revoke the ghost's certificate. Its messages now
+  // fail certificate validation everywhere.
+  crl.revoke(ghost_cert.id());
+  std::printf("\nghost certificate revoked; validate() now returns: %s\n",
+              TrustStore::result_name(
+                  trust.validate(ghost_cert, sched.now(), Psid::kBsm)));
+  return 0;
+}

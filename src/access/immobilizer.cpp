@@ -1,0 +1,47 @@
+#include "access/immobilizer.hpp"
+
+namespace aseck::access {
+
+Immobilizer::Immobilizer(std::uint64_t paired_key40, std::uint64_t seed)
+    : expected_(paired_key40), rng_(seed) {}
+
+bool Immobilizer::authorize(const Transponder& presented) {
+  ++rounds_;
+  const std::uint64_t challenge = rng_.next_u64() & crypto::Dst40::kChallengeMask;
+  return presented.respond(challenge) == expected_.respond(challenge);
+}
+
+CrackResult crack_transponder(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& observed_pairs,
+    std::uint64_t true_key_hint, unsigned key_bits) {
+  CrackResult out;
+  if (observed_pairs.empty() || key_bits > 40) return out;
+  const std::uint64_t space = 1ULL << key_bits;
+  const std::uint64_t base = (true_key_hint & crypto::Dst40::kKeyMask) &
+                             ~(space - 1);  // known upper bits
+  for (std::uint64_t low = 0; low < space; ++low) {
+    const std::uint64_t candidate = base | low;
+    ++out.keys_tried;
+    const crypto::Dst40 c(candidate);
+    bool all_match = true;
+    std::size_t used = 0;
+    for (const auto& [challenge, response] : observed_pairs) {
+      ++used;
+      if (c.respond(challenge) != response) {
+        all_match = false;
+        break;
+      }
+      // Two pairs disambiguate almost surely (24-bit responses).
+      if (used >= 2) break;
+    }
+    if (all_match) {
+      out.found = true;
+      out.key = candidate;
+      out.pairs_needed = used;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace aseck::access

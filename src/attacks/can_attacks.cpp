@@ -1,0 +1,149 @@
+#include "attacks/can_attacks.hpp"
+
+namespace aseck::attacks {
+
+InjectionAttacker::InjectionAttacker(Scheduler& sched, CanBus& bus,
+                                     std::string name, std::uint32_t spoofed_id,
+                                     SimTime period, PayloadFn payload)
+    : CanNode(std::move(name)),
+      sched_(sched),
+      bus_(bus),
+      id_(spoofed_id),
+      period_(period),
+      payload_(std::move(payload)) {
+  bus_.attach(this);
+}
+
+void InjectionAttacker::start() {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sched_, period_,
+      [this] {
+        CanFrame f;
+        f.id = id_;
+        f.data = payload_ ? payload_(injected_) : util::Bytes(8, 0);
+        if (bus_.send(this, std::move(f))) ++injected_;
+      },
+      SimTime::zero());
+}
+
+void InjectionAttacker::stop() { task_.reset(); }
+
+FloodAttacker::FloodAttacker(Scheduler& sched, CanBus& bus, std::string name,
+                             std::uint32_t flood_id, std::size_t queue_depth)
+    : CanNode(std::move(name)),
+      sched_(sched),
+      bus_(bus),
+      flood_id_(flood_id),
+      queue_depth_(queue_depth) {
+  bus_.attach(this);
+}
+
+void FloodAttacker::start() {
+  running_ = true;
+  refill();
+}
+
+void FloodAttacker::stop() { running_ = false; }
+
+void FloodAttacker::refill() {
+  if (!running_) return;
+  // Keep the queue primed so the attacker contends in every arbitration.
+  for (std::size_t i = 0; i < queue_depth_; ++i) {
+    CanFrame f;
+    f.id = flood_id_;
+    f.data = util::Bytes(8, 0xFF);
+    if (bus_.send(this, std::move(f))) ++sent_;
+  }
+}
+
+void FloodAttacker::on_tx_done(const CanFrame&, SimTime) {
+  if (running_) {
+    CanFrame f;
+    f.id = flood_id_;
+    f.data = util::Bytes(8, 0xFF);
+    if (bus_.send(this, std::move(f))) ++sent_;
+  }
+}
+
+ReplayAttacker::ReplayAttacker(Scheduler& sched, CanBus& bus, std::string name,
+                               SimTime record_window, SimTime replay_period)
+    : CanNode(std::move(name)),
+      sched_(sched),
+      bus_(bus),
+      record_window_(record_window),
+      replay_period_(replay_period) {
+  bus_.attach(this);
+}
+
+void ReplayAttacker::start() {
+  recording_ = true;
+  started_at_ = sched_.now();
+  sched_.schedule_in(record_window_, [this] {
+    recording_ = false;
+    replaying_ = true;
+    task_ = std::make_unique<sim::PeriodicTask>(
+        sched_, replay_period_, [this] { replay_next(); }, SimTime::zero());
+  });
+}
+
+void ReplayAttacker::stop() {
+  recording_ = false;
+  replaying_ = false;
+  task_.reset();
+}
+
+void ReplayAttacker::on_frame(const CanFrame& frame, SimTime) {
+  if (recording_) recorded_.push_back(frame);
+}
+
+void ReplayAttacker::replay_next() {
+  if (!replaying_ || recorded_.empty()) return;
+  CanFrame f = recorded_[replay_idx_ % recorded_.size()];
+  ++replay_idx_;
+  if (bus_.send(this, std::move(f))) ++replayed_;
+}
+
+FuzzAttacker::FuzzAttacker(Scheduler& sched, CanBus& bus, std::string name,
+                           SimTime period, std::uint64_t seed)
+    : CanNode(std::move(name)), sched_(sched), bus_(bus), period_(period),
+      rng_(seed) {
+  bus_.attach(this);
+}
+
+void FuzzAttacker::start() {
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sched_, period_,
+      [this] {
+        CanFrame f;
+        f.id = static_cast<std::uint32_t>(rng_.uniform(0x800));
+        f.data = rng_.bytes(rng_.uniform(9));
+        if (bus_.send(this, std::move(f))) ++sent_;
+      },
+      SimTime::zero());
+}
+
+void FuzzAttacker::stop() { task_.reset(); }
+
+BusOffAttacker::BusOffAttacker(CanBus& bus, std::string victim_name,
+                               std::uint32_t victim_id)
+    : bus_(bus), victim_name_(std::move(victim_name)), victim_id_(victim_id) {}
+
+BusOffAttacker::~BusOffAttacker() { disarm(); }
+
+void BusOffAttacker::arm() {
+  armed_ = true;
+  bus_.set_error_injector([this](const CanFrame& f, const CanNode& tx) {
+    if (armed_ && tx.name() == victim_name_ && f.id == victim_id_) {
+      ++corruptions_;
+      return true;
+    }
+    return false;
+  });
+}
+
+void BusOffAttacker::disarm() {
+  armed_ = false;
+  bus_.set_error_injector(nullptr);
+}
+
+}  // namespace aseck::attacks

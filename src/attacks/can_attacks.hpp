@@ -1,0 +1,137 @@
+#pragma once
+// Scripted CAN attackers implementing the paper's Section 4 attack modes:
+// message injection/spoofing, DoS flooding, replay, fuzzing, and the
+// bus-off attack (driving a victim's error counters past 255).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "ivn/can.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace aseck::attacks {
+
+using ivn::CanBus;
+using ivn::CanFrame;
+using ivn::CanNode;
+using sim::Scheduler;
+using sim::SimTime;
+
+/// Periodically injects frames with a fixed (spoofed) id and payload
+/// generator. Models a compromised ECU impersonating another.
+class InjectionAttacker : public CanNode {
+ public:
+  using PayloadFn = std::function<util::Bytes(std::uint64_t seq)>;
+  InjectionAttacker(Scheduler& sched, CanBus& bus, std::string name,
+                    std::uint32_t spoofed_id, SimTime period, PayloadFn payload);
+
+  void start();
+  void stop();
+  std::uint64_t injected() const { return injected_; }
+  void on_frame(const CanFrame&, SimTime) override {}
+
+ private:
+  Scheduler& sched_;
+  CanBus& bus_;
+  std::uint32_t id_;
+  SimTime period_;
+  PayloadFn payload_;
+  std::uint64_t injected_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Saturates the bus with highest-priority frames (id 0): a DoS that wins
+/// every arbitration round, starving legitimate traffic.
+class FloodAttacker : public CanNode {
+ public:
+  FloodAttacker(Scheduler& sched, CanBus& bus, std::string name,
+                std::uint32_t flood_id = 0x000, std::size_t queue_depth = 4);
+
+  void start();
+  void stop();
+  std::uint64_t sent() const { return sent_; }
+  void on_frame(const CanFrame&, SimTime) override {}
+  void on_tx_done(const CanFrame&, SimTime) override;
+
+ private:
+  void refill();
+  Scheduler& sched_;
+  CanBus& bus_;
+  std::uint32_t flood_id_;
+  std::size_t queue_depth_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+/// Records frames for `record_window`, then replays them verbatim. Defeated
+/// by SecOC freshness, devastating without it.
+class ReplayAttacker : public CanNode {
+ public:
+  ReplayAttacker(Scheduler& sched, CanBus& bus, std::string name,
+                 SimTime record_window, SimTime replay_period);
+
+  void start();
+  void stop();
+  std::size_t recorded() const { return recorded_.size(); }
+  std::uint64_t replayed() const { return replayed_; }
+  void on_frame(const CanFrame& frame, SimTime at) override;
+
+ private:
+  void replay_next();
+  Scheduler& sched_;
+  CanBus& bus_;
+  SimTime record_window_;
+  SimTime replay_period_;
+  SimTime started_at_;
+  bool recording_ = false;
+  bool replaying_ = false;
+  std::deque<CanFrame> recorded_;
+  std::size_t replay_idx_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Random id/payload fuzzer.
+class FuzzAttacker : public CanNode {
+ public:
+  FuzzAttacker(Scheduler& sched, CanBus& bus, std::string name, SimTime period,
+               std::uint64_t seed);
+
+  void start();
+  void stop();
+  std::uint64_t sent() const { return sent_; }
+  void on_frame(const CanFrame&, SimTime) override {}
+
+ private:
+  Scheduler& sched_;
+  CanBus& bus_;
+  SimTime period_;
+  util::Rng rng_;
+  std::uint64_t sent_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+/// Arms the bus error injector to corrupt every transmission of `victim_id`
+/// frames by `victim_name` — the bus-off attack: the victim's TEC rises by 8
+/// per attempt and the node eventually disconnects itself.
+class BusOffAttacker {
+ public:
+  BusOffAttacker(CanBus& bus, std::string victim_name, std::uint32_t victim_id);
+  ~BusOffAttacker();
+
+  void arm();
+  void disarm();
+  std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  CanBus& bus_;
+  std::string victim_name_;
+  std::uint32_t victim_id_;
+  bool armed_ = false;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace aseck::attacks

@@ -1,0 +1,74 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+namespace aseck::core {
+
+CmacSuite::CmacSuite(util::BytesView key, std::size_t tag_bytes)
+    : cmac_(key), tag_bytes_(tag_bytes) {
+  if (tag_bytes_ == 0 || tag_bytes_ > 16) {
+    throw std::invalid_argument("CmacSuite: tag_bytes must be 1..16");
+  }
+}
+
+util::Bytes CmacSuite::tag(util::BytesView msg) const {
+  return cmac_.tag_truncated(msg, tag_bytes_);
+}
+
+bool CmacSuite::verify(util::BytesView msg, util::BytesView tag) const {
+  return tag.size() == tag_bytes_ && cmac_.verify(msg, tag);
+}
+
+HmacSuite::HmacSuite(util::BytesView key, std::size_t tag_bytes)
+    : key_(key.begin(), key.end()), tag_bytes_(tag_bytes) {
+  if (tag_bytes_ == 0 || tag_bytes_ > 32) {
+    throw std::invalid_argument("HmacSuite: tag_bytes must be 1..32");
+  }
+}
+
+util::Bytes HmacSuite::tag(util::BytesView msg) const {
+  const crypto::Digest d = crypto::hmac_sha256(key_, msg);
+  return util::Bytes(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(tag_bytes_));
+}
+
+bool HmacSuite::verify(util::BytesView msg, util::BytesView tag) const {
+  if (tag.size() != tag_bytes_) return false;
+  const crypto::Digest d = crypto::hmac_sha256(key_, msg);
+  return util::ct_equal(util::BytesView(d.data(), tag_bytes_), tag);
+}
+
+bool SuiteRegistry::register_suite(const std::string& name, Factory f) {
+  const bool fresh = factories_.count(name) == 0;
+  factories_[name] = std::move(f);
+  return fresh;
+}
+
+std::vector<std::string> SuiteRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, f] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<MacSuite> SuiteRegistry::create(const std::string& name,
+                                                util::BytesView key,
+                                                std::size_t tag_bytes) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second(key, tag_bytes);
+}
+
+SuiteRegistry SuiteRegistry::with_builtins() {
+  SuiteRegistry reg;
+  reg.register_suite("cmac-aes128",
+                     [](util::BytesView key, std::size_t tag_bytes) {
+                       return std::make_unique<CmacSuite>(key, tag_bytes);
+                     });
+  reg.register_suite("hmac-sha256",
+                     [](util::BytesView key, std::size_t tag_bytes) {
+                       return std::make_unique<HmacSuite>(key, tag_bytes);
+                     });
+  return reg;
+}
+
+}  // namespace aseck::core

@@ -1,0 +1,86 @@
+#pragma once
+// Extensibility registry: runtime-pluggable security mechanisms.
+//
+// This is the crypto-agility answer to the paper's "long in-field lifetime"
+// driver (Section 5): the hardware ships with *generic* MAC/secure-channel
+// interfaces; the concrete algorithm is resolved by name from the registry
+// under policy control. Migrating the fleet off a weakened algorithm is a
+// policy update (E9 measures this against a fixed-function redeploy).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/cmac.hpp"
+#include "crypto/hmac.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::core {
+
+/// Generic MAC interface all in-vehicle authentication goes through.
+class MacSuite {
+ public:
+  virtual ~MacSuite() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t tag_bytes() const = 0;
+  virtual util::Bytes tag(util::BytesView msg) const = 0;
+  virtual bool verify(util::BytesView msg, util::BytesView tag) const = 0;
+  /// Relative compute cost (1.0 = AES-CMAC-128 baseline) for latency models.
+  virtual double cost_factor() const { return 1.0; }
+};
+
+/// AES-CMAC with configurable truncation.
+class CmacSuite : public MacSuite {
+ public:
+  CmacSuite(util::BytesView key, std::size_t tag_bytes);
+  std::string name() const override { return "cmac-aes128"; }
+  std::size_t tag_bytes() const override { return tag_bytes_; }
+  util::Bytes tag(util::BytesView msg) const override;
+  bool verify(util::BytesView msg, util::BytesView tag) const override;
+
+ private:
+  crypto::Cmac cmac_;
+  std::size_t tag_bytes_;
+};
+
+/// HMAC-SHA256 with configurable truncation (the "migration target" suite).
+class HmacSuite : public MacSuite {
+ public:
+  HmacSuite(util::BytesView key, std::size_t tag_bytes);
+  std::string name() const override { return "hmac-sha256"; }
+  std::size_t tag_bytes() const override { return tag_bytes_; }
+  util::Bytes tag(util::BytesView msg) const override;
+  bool verify(util::BytesView msg, util::BytesView tag) const override;
+  double cost_factor() const override { return 2.2; }
+
+ private:
+  util::Bytes key_;
+  std::size_t tag_bytes_;
+};
+
+/// Factory registry keyed by suite name. New mechanisms register at runtime
+/// — including ones that did not exist when the vehicle shipped.
+class SuiteRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<MacSuite>(
+      util::BytesView key, std::size_t tag_bytes)>;
+
+  /// Registers (or replaces) a factory. Returns false if replacing.
+  bool register_suite(const std::string& name, Factory f);
+  bool known(const std::string& name) const { return factories_.count(name) > 0; }
+  std::vector<std::string> names() const;
+
+  /// Instantiates a suite; nullptr for unknown names.
+  std::unique_ptr<MacSuite> create(const std::string& name, util::BytesView key,
+                                   std::size_t tag_bytes) const;
+
+  /// Registry preloaded with the built-in suites.
+  static SuiteRegistry with_builtins();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace aseck::core

@@ -1,0 +1,144 @@
+#include "core/verification.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace aseck::core {
+
+namespace {
+/// (param_i, value_i, param_j, value_j) with param_i < param_j.
+struct Pair {
+  std::size_t pi, vi, pj, vj;
+  auto operator<=>(const Pair&) const = default;
+};
+}  // namespace
+
+std::uint64_t ConfigSpace::exhaustive_count() const {
+  std::uint64_t total = 1;
+  for (const auto& p : params_) {
+    if (p.cardinality == 0) return 0;
+    if (total > (1ULL << 60) / p.cardinality) return 1ULL << 60;  // saturate
+    total *= p.cardinality;
+  }
+  return total;
+}
+
+std::uint64_t ConfigSpace::reduced_count() const {
+  std::uint64_t cross = 1;
+  std::uint64_t isolated = 0;
+  for (const auto& p : params_) {
+    if (p.cardinality == 0) return 0;
+    if (p.reducible) {
+      isolated += p.cardinality;
+    } else {
+      if (cross > (1ULL << 60) / p.cardinality) return 1ULL << 60;
+      cross *= p.cardinality;
+    }
+  }
+  return cross + isolated;
+}
+
+std::vector<std::vector<std::size_t>> ConfigSpace::pairwise_array(
+    std::uint64_t seed) const {
+  std::vector<std::vector<std::size_t>> rows;
+  const std::size_t n = params_.size();
+  if (n == 0) return rows;
+  if (n == 1) {
+    for (std::size_t v = 0; v < params_[0].cardinality; ++v) rows.push_back({v});
+    return rows;
+  }
+
+  // Enumerate all uncovered pairs.
+  std::set<Pair> uncovered;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (std::size_t vi = 0; vi < params_[i].cardinality; ++vi) {
+        for (std::size_t vj = 0; vj < params_[j].cardinality; ++vj) {
+          uncovered.insert(Pair{i, vi, j, vj});
+        }
+      }
+    }
+  }
+
+  util::Rng rng(seed);
+  while (!uncovered.empty()) {
+    // AETG-style: several random greedy candidates, keep the best.
+    std::vector<std::size_t> best_row;
+    std::size_t best_cover = 0;
+    for (int cand = 0; cand < 8; ++cand) {
+      std::vector<std::size_t> row(n, SIZE_MAX);
+      // Seed with one uncovered pair (pick pseudo-randomly).
+      auto it = uncovered.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.uniform(std::min<std::uint64_t>(uncovered.size(), 50))));
+      const Pair seed_pair = *it;
+      row[seed_pair.pi] = seed_pair.vi;
+      row[seed_pair.pj] = seed_pair.vj;
+      // Fill remaining params greedily.
+      std::vector<std::size_t> order;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (row[k] == SIZE_MAX) order.push_back(k);
+      }
+      rng.shuffle(order);
+      for (std::size_t k : order) {
+        std::size_t best_v = 0, best_gain = 0;
+        for (std::size_t v = 0; v < params_[k].cardinality; ++v) {
+          std::size_t gain = 0;
+          for (std::size_t m = 0; m < n; ++m) {
+            if (m == k || row[m] == SIZE_MAX) continue;
+            const Pair p = m < k ? Pair{m, row[m], k, v} : Pair{k, v, m, row[m]};
+            if (uncovered.count(p)) ++gain;
+          }
+          if (gain > best_gain || (gain == best_gain && v == 0)) {
+            best_gain = gain;
+            best_v = v;
+          }
+        }
+        row[k] = best_v;
+      }
+      // Count coverage of the complete row.
+      std::size_t cover = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+          if (uncovered.count(Pair{a, row[a], b, row[b]})) ++cover;
+        }
+      }
+      if (cover > best_cover || best_row.empty()) {
+        best_cover = cover;
+        best_row = row;
+      }
+    }
+    // Mark covered.
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        uncovered.erase(Pair{a, best_row[a], b, best_row[b]});
+      }
+    }
+    rows.push_back(std::move(best_row));
+  }
+  return rows;
+}
+
+bool ConfigSpace::covers_all_pairs(
+    const std::vector<std::vector<std::size_t>>& rows) const {
+  const std::size_t n = params_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (std::size_t vi = 0; vi < params_[i].cardinality; ++vi) {
+        for (std::size_t vj = 0; vj < params_[j].cardinality; ++vj) {
+          bool found = false;
+          for (const auto& row : rows) {
+            if (row[i] == vi && row[j] == vj) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace aseck::core

@@ -1,0 +1,74 @@
+#include "crypto/cmac.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aseck::crypto {
+
+namespace {
+/// Doubling in GF(2^128) with the CMAC polynomial (Rb = 0x87).
+Block gf128_double(const Block& in) {
+  Block out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::uint8_t b = in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((b << 1) | carry);
+    carry = b >> 7;
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+}  // namespace
+
+Cmac::Cmac(util::BytesView key) : aes_(key) {
+  Block zero{};
+  const Block l = aes_.encrypt(zero);
+  k1_ = gf128_double(l);
+  k2_ = gf128_double(k1_);
+}
+
+Block Cmac::tag(util::BytesView msg) const {
+  const std::size_t n = msg.size();
+  const std::size_t full_blocks = (n == 0) ? 0 : (n - 1) / kAesBlockSize;
+  Block x{};
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      x[i] ^= msg[b * kAesBlockSize + i];
+    }
+    x = aes_.encrypt(x);
+  }
+  // Last block: complete -> XOR K1; incomplete -> pad 10..0 and XOR K2.
+  Block last{};
+  const std::size_t rem = n - full_blocks * kAesBlockSize;
+  if (n != 0 && rem == kAesBlockSize) {
+    std::memcpy(last.data(), &msg[full_blocks * kAesBlockSize], kAesBlockSize);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= k1_[i];
+  } else {
+    if (rem) std::memcpy(last.data(), &msg[full_blocks * kAesBlockSize], rem);
+    last[rem] = 0x80;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= k2_[i];
+  }
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) x[i] ^= last[i];
+  return aes_.encrypt(x);
+}
+
+util::Bytes Cmac::tag_truncated(util::BytesView msg, std::size_t len) const {
+  if (len == 0 || len > kAesBlockSize) {
+    throw std::invalid_argument("Cmac::tag_truncated: len must be 1..16");
+  }
+  const Block t = tag(msg);
+  return util::Bytes(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(len));
+}
+
+bool Cmac::verify(util::BytesView msg, util::BytesView expected_tag) const {
+  if (expected_tag.empty() || expected_tag.size() > kAesBlockSize) return false;
+  const Block t = tag(msg);
+  return util::ct_equal(
+      util::BytesView(t.data(), expected_tag.size()), expected_tag);
+}
+
+Block aes_cmac(util::BytesView key, util::BytesView msg) {
+  return Cmac(key).tag(msg);
+}
+
+}  // namespace aseck::crypto

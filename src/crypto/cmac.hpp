@@ -1,0 +1,33 @@
+#pragma once
+// AES-CMAC (RFC 4493 / NIST SP 800-38B). This is the MAC mandated by the
+// SHE specification and used by AUTOSAR SecOC; truncation to t bytes is a
+// first-class operation because SecOC transmits truncated MACs.
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::crypto {
+
+class Cmac {
+ public:
+  explicit Cmac(util::BytesView key);
+
+  /// Full 16-byte tag.
+  Block tag(util::BytesView msg) const;
+
+  /// Truncated tag (most-significant `len` bytes, 1..16).
+  util::Bytes tag_truncated(util::BytesView msg, std::size_t len) const;
+
+  /// Constant-time verification of a (possibly truncated) tag.
+  bool verify(util::BytesView msg, util::BytesView expected_tag) const;
+
+ private:
+  Aes aes_;
+  Block k1_{};
+  Block k2_{};
+};
+
+/// One-shot helper.
+Block aes_cmac(util::BytesView key, util::BytesView msg);
+
+}  // namespace aseck::crypto

@@ -1,0 +1,118 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace aseck::crypto {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+}  // namespace
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key, std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce, std::uint8_t out[64]) {
+  std::uint32_t st[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+                          key[0], key[1], key[2], key[3],
+                          key[4], key[5], key[6], key[7],
+                          counter, nonce[0], nonce[1], nonce[2]};
+  std::uint32_t x[16];
+  std::memcpy(x, st, sizeof st);
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + st[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+Drbg::Drbg(util::BytesView seed) {
+  const Digest d = sha256(seed);
+  for (int i = 0; i < 8; ++i) {
+    key_[static_cast<std::size_t>(i)] = util::load_be32(&d[4 * static_cast<std::size_t>(i)]);
+  }
+}
+
+Drbg::Drbg(std::uint64_t seed) {
+  std::uint8_t b[8];
+  util::store_be64(b, seed);
+  const Digest d = sha256(util::BytesView(b, 8));
+  for (int i = 0; i < 8; ++i) {
+    key_[static_cast<std::size_t>(i)] = util::load_be32(&d[4 * static_cast<std::size_t>(i)]);
+  }
+}
+
+void Drbg::refill() {
+  chacha20_block(key_, counter_++, nonce_, block_.data());
+  pos_ = 0;
+  if (counter_ == 0) ++nonce_[0];  // 2^32 blocks: roll the nonce
+}
+
+void Drbg::generate(std::uint8_t* out, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    if (pos_ == 64) refill();
+    const std::size_t take = std::min(n - off, 64 - pos_);
+    std::memcpy(out + off, block_.data() + pos_, take);
+    pos_ += take;
+    off += take;
+  }
+}
+
+util::Bytes Drbg::bytes(std::size_t n) {
+  util::Bytes out(n);
+  generate(out.data(), n);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t b[8];
+  generate(b, 8);
+  return util::load_be64(b);
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound) - 1;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v > limit);
+  return v % bound;
+}
+
+void Drbg::reseed(util::BytesView entropy) {
+  util::Bytes mix;
+  mix.reserve(32 + entropy.size());
+  for (auto k : key_) util::append_be(mix, k, 4);
+  mix.insert(mix.end(), entropy.begin(), entropy.end());
+  const Digest d = sha256(mix);
+  for (int i = 0; i < 8; ++i) {
+    key_[static_cast<std::size_t>(i)] = util::load_be32(&d[4 * static_cast<std::size_t>(i)]);
+  }
+  counter_ = 0;
+  pos_ = 64;
+}
+
+}  // namespace aseck::crypto

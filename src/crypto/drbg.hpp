@@ -1,0 +1,43 @@
+#pragma once
+// Deterministic random bit generator built on ChaCha20. All key material,
+// nonces, and certificates in the library come from a Drbg so experiments
+// are reproducible from a seed; a production build would seed it from a
+// hardware TRNG (the SHE module models that entropy source).
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace aseck::crypto {
+
+/// ChaCha20 block function (RFC 8439) exposed for tests.
+void chacha20_block(const std::array<std::uint32_t, 8>& key, std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce, std::uint8_t out[64]);
+
+class Drbg {
+ public:
+  /// Seeds from arbitrary bytes (hashed to the 256-bit ChaCha key).
+  explicit Drbg(util::BytesView seed);
+  explicit Drbg(std::uint64_t seed);
+
+  /// Fills `out` with pseudorandom bytes.
+  void generate(std::uint8_t* out, std::size_t n);
+  util::Bytes bytes(std::size_t n);
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound), rejection-sampled.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Mixes fresh entropy into the state (re-key).
+  void reseed(util::BytesView entropy);
+
+ private:
+  void refill();
+  std::array<std::uint32_t, 8> key_{};
+  std::array<std::uint32_t, 3> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t pos_ = 64;
+};
+
+}  // namespace aseck::crypto

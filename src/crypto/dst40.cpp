@@ -1,0 +1,38 @@
+#include "crypto/dst40.hpp"
+
+namespace aseck::crypto {
+
+namespace {
+/// 20-bit round function: key-dependent nonlinear mix. Chosen for decent
+/// diffusion in a handful of rounds; NOT the proprietary DST40 f-box.
+std::uint32_t round_f(std::uint32_t half20, std::uint32_t subkey20) {
+  std::uint32_t x = (half20 ^ subkey20) & 0xfffff;
+  x = (x * 0x9e37u + 0x79b9u) & 0xfffff;
+  x ^= x >> 7;
+  x = (x * 0x85ebu + 0xca6bu) & 0xfffff;
+  x ^= x >> 11;
+  return x & 0xfffff;
+}
+}  // namespace
+
+Dst40::Dst40(std::uint64_t key40) : key_(key40 & kKeyMask) {}
+
+std::uint32_t Dst40::respond(std::uint64_t challenge40) const {
+  challenge40 &= kChallengeMask;
+  std::uint32_t left = static_cast<std::uint32_t>(challenge40 >> 20) & 0xfffff;
+  std::uint32_t right = static_cast<std::uint32_t>(challenge40) & 0xfffff;
+  // 8 Feistel rounds with rotating 20-bit subkeys derived from the 40-bit key.
+  for (int r = 0; r < 8; ++r) {
+    const std::uint32_t subkey = static_cast<std::uint32_t>(
+        (key_ >> ((r * 5) % 40)) ^ (key_ << ((40 - (r * 5) % 40) % 40))) &
+        0xfffff;
+    const std::uint32_t tmp = right;
+    right = (left ^ round_f(right, subkey ^ static_cast<std::uint32_t>(r * 0x11111))) & 0xfffff;
+    left = tmp;
+  }
+  // 24-bit response: mix the two halves down.
+  const std::uint32_t mixed = ((left << 4) ^ right ^ (left >> 9)) & kResponseMask;
+  return mixed;
+}
+
+}  // namespace aseck::crypto

@@ -1,0 +1,35 @@
+#pragma once
+// DST40-like transponder cipher for the immobilizer model.
+//
+// The real DST40 (TI Digital Signature Transponder) keystream function is
+// proprietary; what matters for reproducing the Bono et al. (USENIX Sec'05)
+// attack is its *parameters*: a 40-bit key, a 40-bit challenge, and a 24-bit
+// response, which puts exhaustive key search within reach of modest hardware.
+// We implement a small balanced Feistel network with those parameters. The
+// access-security module cracks it by brute force over a configurable key
+// subspace (src/attacks/key_crack.hpp), demonstrating the same "weak
+// proprietary cipher + short key" failure mode.
+
+#include <cstdint>
+
+namespace aseck::crypto {
+
+class Dst40 {
+ public:
+  /// Key is 40 bits (low 40 bits of the argument are used).
+  explicit Dst40(std::uint64_t key40);
+
+  /// 24-bit response to a 40-bit challenge.
+  std::uint32_t respond(std::uint64_t challenge40) const;
+
+  std::uint64_t key() const { return key_; }
+
+  static constexpr std::uint64_t kKeyMask = (1ULL << 40) - 1;
+  static constexpr std::uint64_t kChallengeMask = (1ULL << 40) - 1;
+  static constexpr std::uint32_t kResponseMask = (1u << 24) - 1;
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace aseck::crypto

@@ -1,0 +1,147 @@
+#include "crypto/ecdsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace aseck::crypto {
+
+namespace {
+
+/// Converts a digest to an integer mod n (leftmost-bits rule; for SHA-256 and
+/// P-256 both are 256 bits, so this is just a reduction).
+U256 digest_to_scalar(const Digest& d) {
+  const U256 z = U256::from_bytes(util::BytesView(d.data(), d.size()));
+  return mod_generic(z, p256::N());
+}
+
+/// Deterministic nonce: k = HMAC(d_bytes, digest || counter) reduced mod n,
+/// retried until valid. Simplified RFC 6979 construction.
+U256 derive_nonce(const U256& d, const Digest& digest) {
+  const util::Bytes key = d.to_bytes();
+  for (std::uint8_t counter = 0;; ++counter) {
+    util::Bytes msg(digest.begin(), digest.end());
+    msg.push_back(counter);
+    const Digest h = hmac_sha256(key, msg);
+    const U256 k = mod_generic(
+        U256::from_bytes(util::BytesView(h.data(), h.size())), p256::N());
+    if (!k.is_zero()) return k;
+  }
+}
+
+}  // namespace
+
+util::Bytes EcdsaSignature::to_bytes() const {
+  util::Bytes out = r.to_bytes();
+  const util::Bytes sb = s.to_bytes();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::from_bytes(util::BytesView b) {
+  if (b.size() != 64) return std::nullopt;
+  EcdsaSignature sig;
+  sig.r = U256::from_bytes(b.subspan(0, 32));
+  sig.s = U256::from_bytes(b.subspan(32, 32));
+  return sig;
+}
+
+util::Bytes EcdsaPublicKey::to_bytes() const {
+  util::Bytes out{0x04};
+  const util::Bytes xb = point.x.to_bytes();
+  const util::Bytes yb = point.y.to_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+std::optional<EcdsaPublicKey> EcdsaPublicKey::from_bytes(util::BytesView b) {
+  if (b.size() != 65 || b[0] != 0x04) return std::nullopt;
+  EcdsaPublicKey pub;
+  pub.point.x = U256::from_bytes(b.subspan(1, 32));
+  pub.point.y = U256::from_bytes(b.subspan(33, 32));
+  pub.point.infinity = false;
+  if (!p256::on_curve(pub.point)) return std::nullopt;
+  return pub;
+}
+
+EcdsaPrivateKey::EcdsaPrivateKey(U256 d) : d_(d) {
+  pub_.point = p256::to_affine(p256::scalar_mult_base(d_));
+}
+
+EcdsaPrivateKey EcdsaPrivateKey::generate(Drbg& rng) {
+  for (;;) {
+    const util::Bytes raw = rng.bytes(32);
+    const U256 d = mod_generic(U256::from_bytes(raw), p256::N());
+    if (!d.is_zero()) return EcdsaPrivateKey(d);
+  }
+}
+
+EcdsaPrivateKey EcdsaPrivateKey::from_secret(util::BytesView secret32) {
+  const U256 d = mod_generic(U256::from_bytes(secret32), p256::N());
+  if (d.is_zero()) {
+    throw std::invalid_argument("EcdsaPrivateKey: secret reduces to zero");
+  }
+  return EcdsaPrivateKey(d);
+}
+
+EcdsaSignature EcdsaPrivateKey::sign(util::BytesView msg) const {
+  return sign_digest(sha256(msg));
+}
+
+EcdsaSignature EcdsaPrivateKey::sign_digest(const Digest& digest) const {
+  const U256& n = p256::N();
+  const U256 z = digest_to_scalar(digest);
+  Digest attempt_digest = digest;
+  for (;;) {
+    const U256 k = derive_nonce(d_, attempt_digest);
+    const p256::AffinePoint R = p256::to_affine(p256::scalar_mult_base(k));
+    const U256 r = mod_generic(R.x, n);
+    if (r.is_zero()) {
+      attempt_digest[0] ^= 0x5a;  // perturb and retry (never expected)
+      continue;
+    }
+    const U256 kinv = inv_mod_prime(k, n);
+    const U256 rd = mul_mod(r, d_, n);
+    const U256 s = mul_mod(kinv, add_mod(z, rd, n), n);
+    if (s.is_zero()) {
+      attempt_digest[0] ^= 0xa5;
+      continue;
+    }
+    return EcdsaSignature{r, s};
+  }
+}
+
+bool ecdsa_verify(const EcdsaPublicKey& pub, util::BytesView msg,
+                  const EcdsaSignature& sig) {
+  return ecdsa_verify_digest(pub, sha256(msg), sig);
+}
+
+bool ecdsa_verify_digest(const EcdsaPublicKey& pub, const Digest& digest,
+                         const EcdsaSignature& sig) {
+  const U256& n = p256::N();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (cmp(sig.r, n) >= 0 || cmp(sig.s, n) >= 0) return false;
+  if (!pub.valid()) return false;
+  const U256 z = digest_to_scalar(digest);
+  const U256 w = inv_mod_prime(sig.s, n);
+  const U256 u1 = mul_mod(z, w, n);
+  const U256 u2 = mul_mod(sig.r, w, n);
+  const p256::JacobianPoint X = p256::double_scalar_mult(u1, u2, pub.point);
+  if (X.is_infinity()) return false;
+  const p256::AffinePoint Xa = p256::to_affine(X);
+  return mod_generic(Xa.x, n) == sig.r;
+}
+
+std::optional<util::Bytes> ecdh_shared(const EcdsaPrivateKey& mine,
+                                       const EcdsaPublicKey& peer,
+                                       util::BytesView info, std::size_t len) {
+  if (!peer.valid()) return std::nullopt;
+  const p256::JacobianPoint s = p256::scalar_mult(mine.scalar(), peer.point);
+  if (s.is_infinity()) return std::nullopt;
+  const p256::AffinePoint sa = p256::to_affine(s);
+  const util::Bytes x = sa.x.to_bytes();
+  return hkdf(util::Bytes{}, x, info, len);
+}
+
+}  // namespace aseck::crypto

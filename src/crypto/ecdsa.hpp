@@ -1,0 +1,69 @@
+#pragma once
+// ECDSA over P-256 with SHA-256 (the signature suite of IEEE 1609.2 and the
+// asymmetric option in Uptane), plus ECDH key agreement. Nonces are derived
+// deterministically from (key, digest) in the spirit of RFC 6979 so that a
+// given (key, message) pair always produces the same signature — this keeps
+// simulations reproducible and eliminates nonce-reuse bugs by construction.
+
+#include <optional>
+
+#include "crypto/drbg.hpp"
+#include "crypto/p256.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::crypto {
+
+struct EcdsaSignature {
+  U256 r, s;
+
+  /// 64-byte r||s serialization.
+  util::Bytes to_bytes() const;
+  static std::optional<EcdsaSignature> from_bytes(util::BytesView b);
+  friend bool operator==(const EcdsaSignature&, const EcdsaSignature&) = default;
+};
+
+struct EcdsaPublicKey {
+  p256::AffinePoint point;
+
+  /// Uncompressed SEC1 encoding: 0x04 || X || Y (65 bytes).
+  util::Bytes to_bytes() const;
+  static std::optional<EcdsaPublicKey> from_bytes(util::BytesView b);
+  bool valid() const { return p256::on_curve(point); }
+  friend bool operator==(const EcdsaPublicKey&, const EcdsaPublicKey&) = default;
+};
+
+class EcdsaPrivateKey {
+ public:
+  /// Generates a key from the DRBG.
+  static EcdsaPrivateKey generate(Drbg& rng);
+  /// Deterministic key from a 32-byte secret (reduced mod n; must be nonzero).
+  static EcdsaPrivateKey from_secret(util::BytesView secret32);
+
+  const U256& scalar() const { return d_; }
+  const EcdsaPublicKey& public_key() const { return pub_; }
+
+  /// Signs a message (hashes with SHA-256 internally).
+  EcdsaSignature sign(util::BytesView msg) const;
+  /// Signs a precomputed digest.
+  EcdsaSignature sign_digest(const Digest& digest) const;
+
+ private:
+  EcdsaPrivateKey(U256 d);
+  U256 d_;
+  EcdsaPublicKey pub_;
+};
+
+/// Verifies signature over a message (SHA-256 internally).
+bool ecdsa_verify(const EcdsaPublicKey& pub, util::BytesView msg,
+                  const EcdsaSignature& sig);
+bool ecdsa_verify_digest(const EcdsaPublicKey& pub, const Digest& digest,
+                         const EcdsaSignature& sig);
+
+/// ECDH: shared secret = x-coordinate of d * Q, expanded through HKDF with
+/// the given info label. Returns nullopt for invalid peer keys.
+std::optional<util::Bytes> ecdh_shared(const EcdsaPrivateKey& mine,
+                                       const EcdsaPublicKey& peer,
+                                       util::BytesView info, std::size_t len);
+
+}  // namespace aseck::crypto

@@ -1,0 +1,144 @@
+#include "crypto/gcm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aseck::crypto {
+
+namespace {
+
+struct U128 {
+  std::uint64_t hi = 0, lo = 0;
+};
+
+U128 load_u128(const std::uint8_t* p) {
+  return U128{util::load_be64(p), util::load_be64(p + 8)};
+}
+
+void store_u128(std::uint8_t* p, U128 v) {
+  util::store_be64(p, v.hi);
+  util::store_be64(p + 8, v.lo);
+}
+
+/// GF(2^128) multiplication per SP 800-38D (bit-reflected convention),
+/// simple shift-and-add; adequate for simulation throughput.
+U128 ghash_mul(U128 x, U128 y) {
+  U128 z{};
+  U128 v = y;
+  for (int i = 0; i < 128; ++i) {
+    const std::uint64_t bit =
+        (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const bool lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+class Ghash {
+ public:
+  explicit Ghash(U128 h) : h_(h) {}
+
+  void update(util::BytesView data) {
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+      std::uint8_t blk[16] = {};
+      const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(blk, data.data() + off, n);
+      const U128 x = load_u128(blk);
+      y_.hi ^= x.hi;
+      y_.lo ^= x.lo;
+      y_ = ghash_mul(y_, h_);
+    }
+  }
+
+  void update_length_block(std::uint64_t aad_bits, std::uint64_t ct_bits) {
+    std::uint8_t blk[16];
+    util::store_be64(blk, aad_bits);
+    util::store_be64(blk + 8, ct_bits);
+    update(util::BytesView(blk, 16));
+  }
+
+  U128 digest() const { return y_; }
+
+ private:
+  U128 h_;
+  U128 y_{};
+};
+
+Block make_j0(util::BytesView iv96) {
+  if (iv96.size() != 12) {
+    throw std::invalid_argument("aes_gcm: IV must be 96 bits");
+  }
+  Block j0{};
+  std::memcpy(j0.data(), iv96.data(), 12);
+  j0[15] = 1;
+  return j0;
+}
+
+Block inc32(Block b) {
+  for (int i = 15; i >= 12; --i) {
+    if (++b[static_cast<std::size_t>(i)] != 0) break;
+  }
+  return b;
+}
+
+}  // namespace
+
+GcmResult aes_gcm_encrypt(const Aes& aes, util::BytesView iv96,
+                          util::BytesView aad, util::BytesView plain) {
+  Block zero{};
+  const Block hb = aes.encrypt(zero);
+  const U128 h = load_u128(hb.data());
+  const Block j0 = make_j0(iv96);
+
+  GcmResult out;
+  out.ciphertext = aes_ctr(aes, inc32(j0), plain);
+
+  Ghash gh(h);
+  gh.update(aad);
+  gh.update(out.ciphertext);
+  gh.update_length_block(aad.size() * 8, out.ciphertext.size() * 8);
+
+  Block s;
+  store_u128(s.data(), gh.digest());
+  const Block ek_j0 = aes.encrypt(j0);
+  for (std::size_t i = 0; i < 16; ++i) {
+    out.tag[i] = static_cast<std::uint8_t>(s[i] ^ ek_j0[i]);
+  }
+  return out;
+}
+
+std::optional<util::Bytes> aes_gcm_decrypt(const Aes& aes, util::BytesView iv96,
+                                           util::BytesView aad,
+                                           util::BytesView cipher,
+                                           util::BytesView tag) {
+  if (tag.size() < 12 || tag.size() > 16) return std::nullopt;
+  Block zero{};
+  const Block hb = aes.encrypt(zero);
+  const U128 h = load_u128(hb.data());
+  const Block j0 = make_j0(iv96);
+
+  Ghash gh(h);
+  gh.update(aad);
+  gh.update(cipher);
+  gh.update_length_block(aad.size() * 8, cipher.size() * 8);
+
+  Block s;
+  store_u128(s.data(), gh.digest());
+  const Block ek_j0 = aes.encrypt(j0);
+  Block expect;
+  for (std::size_t i = 0; i < 16; ++i) {
+    expect[i] = static_cast<std::uint8_t>(s[i] ^ ek_j0[i]);
+  }
+  if (!util::ct_equal(util::BytesView(expect.data(), tag.size()), tag)) {
+    return std::nullopt;
+  }
+  return aes_ctr(aes, inc32(j0), cipher);
+}
+
+}  // namespace aseck::crypto

@@ -1,0 +1,27 @@
+#pragma once
+// AES-GCM (NIST SP 800-38D) authenticated encryption. Used by the secure
+// diagnostics/cloud channel and smart-key session layer.
+
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::crypto {
+
+struct GcmResult {
+  util::Bytes ciphertext;
+  std::array<std::uint8_t, 16> tag;
+};
+
+/// Encrypts `plain` with 96-bit IV and additional authenticated data.
+GcmResult aes_gcm_encrypt(const Aes& aes, util::BytesView iv96,
+                          util::BytesView aad, util::BytesView plain);
+
+/// Decrypts and verifies; returns nullopt on authentication failure.
+std::optional<util::Bytes> aes_gcm_decrypt(const Aes& aes, util::BytesView iv96,
+                                           util::BytesView aad,
+                                           util::BytesView cipher,
+                                           util::BytesView tag);
+
+}  // namespace aseck::crypto

@@ -1,0 +1,66 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+namespace aseck::crypto {
+
+Digest hmac_sha256(util::BytesView key, util::BytesView msg) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(util::BytesView(ipad.data(), ipad.size()));
+  inner.update(msg);
+  const Digest inner_digest = inner.finalize();
+  Sha256 outer;
+  outer.update(util::BytesView(opad.data(), opad.size()));
+  outer.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+bool hmac_verify(util::BytesView key, util::BytesView msg, util::BytesView tag) {
+  if (tag.size() < 8 || tag.size() > kSha256DigestSize) return false;
+  const Digest full = hmac_sha256(key, msg);
+  return util::ct_equal(util::BytesView(full.data(), tag.size()), tag);
+}
+
+Digest hkdf_extract(util::BytesView salt, util::BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info, std::size_t len) {
+  if (len > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  util::Bytes out;
+  out.reserve(len);
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < len) {
+    util::Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const Digest d = hmac_sha256(prk, block);
+    t.assign(d.begin(), d.end());
+    const std::size_t take = std::min(t.size(), len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+util::Bytes hkdf(util::BytesView salt, util::BytesView ikm, util::BytesView info,
+                 std::size_t len) {
+  const Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(util::BytesView(prk.data(), prk.size()), info, len);
+}
+
+}  // namespace aseck::crypto

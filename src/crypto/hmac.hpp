@@ -1,0 +1,27 @@
+#pragma once
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). Used for the TLS-like cloud
+// channel, V2X key derivation, and Uptane metadata signing-key derivation in
+// symmetric deployments.
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::crypto {
+
+/// HMAC-SHA256 tag.
+Digest hmac_sha256(util::BytesView key, util::BytesView msg);
+
+/// Constant-time HMAC verification (tag may be truncated to >= 8 bytes).
+bool hmac_verify(util::BytesView key, util::BytesView msg, util::BytesView tag);
+
+/// HKDF-Extract.
+Digest hkdf_extract(util::BytesView salt, util::BytesView ikm);
+
+/// HKDF-Expand; len <= 255 * 32.
+util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info, std::size_t len);
+
+/// Combined extract-then-expand.
+util::Bytes hkdf(util::BytesView salt, util::BytesView ikm, util::BytesView info,
+                 std::size_t len);
+
+}  // namespace aseck::crypto

@@ -1,0 +1,225 @@
+#include "crypto/p256.hpp"
+
+namespace aseck::crypto::p256 {
+
+namespace {
+
+const U256 kP = U256::from_hex(
+    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+const U256 kN = U256::from_hex(
+    "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+const U256 kB = U256::from_hex(
+    "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+const U256 kGx = U256::from_hex(
+    "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+const U256 kGy = U256::from_hex(
+    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+
+}  // namespace
+
+const U256& P() { return kP; }
+const U256& N() { return kN; }
+const U256& B() { return kB; }
+const U256& Gx() { return kGx; }
+const U256& Gy() { return kGy; }
+
+U256 reduce_p(const U512& x) {
+  const auto& c = x.w;
+  // NIST fast reduction for p256 (Hankerson-Menezes-Vanstone Alg. 2.29):
+  // r = T + 2*S1 + 2*S2 + S3 + S4 - D1 - D2 - D3 - D4 mod p, with the
+  // 32-bit word selections below (index 0 = least significant word).
+  std::int64_t acc[8];
+  auto set = [&](int i, std::int64_t v) { acc[i] = v; };
+  set(0, (std::int64_t)c[0] + c[8] + c[9] - c[11] - c[12] - c[13] - c[14]);
+  set(1, (std::int64_t)c[1] + c[9] + c[10] - c[12] - c[13] - c[14] - c[15]);
+  set(2, (std::int64_t)c[2] + c[10] + c[11] - c[13] - c[14] - c[15]);
+  set(3, (std::int64_t)c[3] + 2 * (std::int64_t)c[11] + 2 * (std::int64_t)c[12] +
+             c[13] - c[15] - c[8] - c[9]);
+  set(4, (std::int64_t)c[4] + 2 * (std::int64_t)c[12] + 2 * (std::int64_t)c[13] +
+             c[14] - c[9] - c[10]);
+  set(5, (std::int64_t)c[5] + 2 * (std::int64_t)c[13] + 2 * (std::int64_t)c[14] +
+             c[15] - c[10] - c[11]);
+  set(6, (std::int64_t)c[6] + 2 * (std::int64_t)c[14] + 2 * (std::int64_t)c[15] +
+             c[14] + c[13] - c[8] - c[9]);
+  set(7, (std::int64_t)c[7] + 2 * (std::int64_t)c[15] + c[15] + c[8] - c[10] -
+             c[11] - c[12] - c[13]);
+
+  // Carry-propagate the signed accumulators into a U256 plus signed overflow.
+  U256 r;
+  std::int64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::int64_t t = acc[i] + carry;
+    r.w[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(t & 0xffffffffLL);
+    carry = t >> 32;  // arithmetic shift: floor division by 2^32
+  }
+  // Fold the +/- carry*2^256 term: 2^256 mod p == 2^256 - p.
+  while (carry < 0) {
+    carry += static_cast<std::int64_t>(add(r, r, kP));
+  }
+  while (carry > 0) {
+    U256 t;
+    const std::uint32_t borrow = sub(t, r, kP);
+    r = t;
+    carry -= static_cast<std::int64_t>(borrow);
+  }
+  while (cmp(r, kP) >= 0) {
+    U256 t;
+    sub(t, r, kP);
+    r = t;
+  }
+  return r;
+}
+
+namespace {
+std::uint64_t g_fieldops = 0;
+}  // namespace
+
+void reset_fieldop_count() { g_fieldops = 0; }
+std::uint64_t fieldop_count() { return g_fieldops; }
+
+U256 fadd(const U256& a, const U256& b) { return add_mod(a, b, kP); }
+U256 fsub(const U256& a, const U256& b) { return sub_mod(a, b, kP); }
+U256 fmul(const U256& a, const U256& b) {
+  ++g_fieldops;
+  return reduce_p(mul(a, b));
+}
+U256 fsqr(const U256& a) { return fmul(a, a); }
+U256 finv(const U256& a) { return inv_mod_prime(a, kP); }
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
+  if (p.infinity) return make_infinity();
+  return JacobianPoint{p.x, p.y, U256::one()};
+}
+
+AffinePoint to_affine(const JacobianPoint& p) {
+  if (p.is_infinity()) return AffinePoint::make_infinity();
+  const U256 zinv = finv(p.z);
+  const U256 zinv2 = fsqr(zinv);
+  const U256 zinv3 = fmul(zinv2, zinv);
+  return AffinePoint{fmul(p.x, zinv2), fmul(p.y, zinv3), false};
+}
+
+JacobianPoint dbl(const JacobianPoint& p) {
+  if (p.is_infinity() || p.y.is_zero()) return JacobianPoint::make_infinity();
+  // dbl-2001-b (a = -3):
+  const U256 delta = fsqr(p.z);
+  const U256 gamma = fsqr(p.y);
+  const U256 beta = fmul(p.x, gamma);
+  const U256 alpha =
+      fmul(fadd(fadd(fsub(p.x, delta), fsub(p.x, delta)), fsub(p.x, delta)),
+           fadd(p.x, delta));  // 3*(x-delta)*(x+delta)
+  const U256 beta4 = fadd(fadd(beta, beta), fadd(beta, beta));
+  const U256 beta8 = fadd(beta4, beta4);
+  JacobianPoint r;
+  r.x = fsub(fsqr(alpha), beta8);
+  r.z = fsub(fsub(fsqr(fadd(p.y, p.z)), gamma), delta);
+  const U256 gamma2 = fsqr(gamma);
+  const U256 gamma2_8 =
+      fadd(fadd(fadd(gamma2, gamma2), fadd(gamma2, gamma2)),
+           fadd(fadd(gamma2, gamma2), fadd(gamma2, gamma2)));
+  r.y = fsub(fmul(alpha, fsub(beta4, r.x)), gamma2_8);
+  return r;
+}
+
+JacobianPoint add_mixed(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  if (p.is_infinity()) return JacobianPoint::from_affine(q);
+  const U256 z1z1 = fsqr(p.z);
+  const U256 u2 = fmul(q.x, z1z1);
+  const U256 s2 = fmul(fmul(q.y, p.z), z1z1);
+  const U256 h = fsub(u2, p.x);
+  const U256 r_ = fsub(s2, p.y);
+  if (h.is_zero()) {
+    if (r_.is_zero()) return dbl(p);
+    return JacobianPoint::make_infinity();
+  }
+  const U256 h2 = fsqr(h);
+  const U256 h3 = fmul(h2, h);
+  const U256 x1h2 = fmul(p.x, h2);
+  JacobianPoint out;
+  out.x = fsub(fsub(fsqr(r_), h3), fadd(x1h2, x1h2));
+  out.y = fsub(fmul(r_, fsub(x1h2, out.x)), fmul(p.y, h3));
+  out.z = fmul(p.z, h);
+  return out;
+}
+
+JacobianPoint add(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  return add_mixed(p, to_affine(q));
+}
+
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p) {
+  JacobianPoint r = JacobianPoint::make_infinity();
+  const int top = k.top_bit();
+  for (int i = top; i >= 0; --i) {
+    r = dbl(r);
+    if (k.bit(static_cast<unsigned>(i))) r = add_mixed(r, p);
+  }
+  return r;
+}
+
+JacobianPoint scalar_mult_ladder(const U256& k, const AffinePoint& p,
+                                 unsigned bits) {
+  // Classic X-then-add ladder over (R0, R1) with R1 - R0 = P invariant.
+  // Every iteration performs exactly one dbl and one add regardless of the
+  // key bit, so the op count (and thus time in a software model) is
+  // independent of k. Note: the *selection* below is still data-dependent
+  // branching at the C++ level; real hardened code uses constant-time swaps.
+  JacobianPoint r0 = JacobianPoint::make_infinity();
+  JacobianPoint r1 = JacobianPoint::from_affine(p);
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    const bool bit = k.bit(static_cast<unsigned>(i));
+    if (bit) {
+      r0 = add(r0, r1);
+      r1 = dbl(r1);
+    } else {
+      r1 = add(r0, r1);
+      r0 = dbl(r0);
+    }
+  }
+  return r0;
+}
+
+JacobianPoint scalar_mult_base(const U256& k) {
+  return scalar_mult(k, generator());
+}
+
+JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
+                                 const AffinePoint& q) {
+  // Shamir's trick: interleaved double-and-add with precomputed G+Q.
+  const AffinePoint g = generator();
+  const JacobianPoint gq_j = add_mixed(JacobianPoint::from_affine(g), q);
+  const AffinePoint gq = to_affine(gq_j);
+  JacobianPoint r = JacobianPoint::make_infinity();
+  const int top = std::max(u1.top_bit(), u2.top_bit());
+  for (int i = top; i >= 0; --i) {
+    r = dbl(r);
+    const bool b1 = i >= 0 && u1.bit(static_cast<unsigned>(i));
+    const bool b2 = i >= 0 && u2.bit(static_cast<unsigned>(i));
+    if (b1 && b2) {
+      r = gq_j.is_infinity() ? r : add_mixed(r, gq);
+    } else if (b1) {
+      r = add_mixed(r, g);
+    } else if (b2) {
+      r = add_mixed(r, q);
+    }
+  }
+  return r;
+}
+
+bool on_curve(const AffinePoint& p) {
+  if (p.infinity) return false;
+  if (cmp(p.x, kP) >= 0 || cmp(p.y, kP) >= 0) return false;
+  // y^2 == x^3 - 3x + b
+  const U256 lhs = fsqr(p.y);
+  const U256 x3 = fmul(fsqr(p.x), p.x);
+  const U256 three_x = fadd(fadd(p.x, p.x), p.x);
+  const U256 rhs = fadd(fsub(x3, three_x), kB);
+  return lhs == rhs;
+}
+
+AffinePoint generator() { return AffinePoint{kGx, kGy, false}; }
+
+}  // namespace aseck::crypto::p256

@@ -1,0 +1,87 @@
+#pragma once
+// NIST P-256 (secp256r1) elliptic curve arithmetic: fast NIST modular
+// reduction for the field prime, Jacobian-coordinate point operations, and
+// double-and-add scalar multiplication.
+//
+// NOTE: scalar multiplication here is *not* constant-time; timing leakage of
+// long-lived keys is exactly one of the side-channel classes the paper
+// discusses, and src/sidechannel models it explicitly. Production silicon
+// would use a hardened ladder.
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace aseck::crypto::p256 {
+
+/// Field prime p, curve order n, and curve parameter b (a = -3).
+const U256& P();
+const U256& N();
+const U256& B();
+/// Base point (affine).
+const U256& Gx();
+const U256& Gy();
+
+// --- Field arithmetic mod p -------------------------------------------------
+
+U256 fadd(const U256& a, const U256& b);
+U256 fsub(const U256& a, const U256& b);
+/// Product with NIST P-256 fast reduction.
+U256 fmul(const U256& a, const U256& b);
+U256 fsqr(const U256& a);
+U256 finv(const U256& a);
+/// Reduces an arbitrary 512-bit value mod p (the fast reduction kernel).
+U256 reduce_p(const U512& x);
+
+// --- Points ------------------------------------------------------------------
+
+/// Affine point; infinity encoded by `infinity == true`.
+struct AffinePoint {
+  U256 x, y;
+  bool infinity = false;
+
+  static AffinePoint make_infinity() { return AffinePoint{{}, {}, true}; }
+  friend bool operator==(const AffinePoint&, const AffinePoint&) = default;
+};
+
+/// Jacobian point (X/Z^2, Y/Z^3); infinity encoded by Z == 0.
+struct JacobianPoint {
+  U256 x, y, z;
+
+  static JacobianPoint make_infinity() { return JacobianPoint{}; }
+  static JacobianPoint from_affine(const AffinePoint& p);
+  bool is_infinity() const { return z.is_zero(); }
+};
+
+AffinePoint to_affine(const JacobianPoint& p);
+
+JacobianPoint dbl(const JacobianPoint& p);
+/// Mixed addition: Jacobian + affine.
+JacobianPoint add_mixed(const JacobianPoint& p, const AffinePoint& q);
+JacobianPoint add(const JacobianPoint& p, const JacobianPoint& q);
+
+/// k * P for affine P. k is used as-is (callers reduce mod n when required).
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p);
+/// Montgomery-ladder scalar multiplication: performs the same point-
+/// operation sequence for every k of a given bit length (the constant-time
+/// countermeasure to the timing/SPA leakage of double-and-add). `bits`
+/// fixes the ladder length (use 256 for secret scalars).
+JacobianPoint scalar_mult_ladder(const U256& k, const AffinePoint& p,
+                                 unsigned bits = 256);
+/// Field-operation counters (mul+sqr) for the leakage demonstration; reset
+/// and read around a scalar multiplication.
+void reset_fieldop_count();
+std::uint64_t fieldop_count();
+/// k * G.
+JacobianPoint scalar_mult_base(const U256& k);
+/// u1*G + u2*Q (Shamir's trick), the ECDSA verification kernel.
+JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
+                                 const AffinePoint& q);
+
+/// True iff (x, y) satisfies the curve equation and both coords < p.
+bool on_curve(const AffinePoint& p);
+
+/// Base point as affine.
+AffinePoint generator();
+
+}  // namespace aseck::crypto::p256

@@ -1,0 +1,40 @@
+#pragma once
+// SHA-256 (FIPS 180-4), incremental API plus one-shot helper. Used for OTA
+// image digests, Uptane metadata hashing, certificate digests, and HMAC.
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace aseck::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(util::BytesView data);
+  /// Finalizes and returns the digest; the object must be reset() before
+  /// further use.
+  Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* p);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot digest.
+Digest sha256(util::BytesView data);
+/// Digest as Bytes (convenience for serialization).
+util::Bytes sha256_bytes(util::BytesView data);
+
+}  // namespace aseck::crypto

@@ -1,0 +1,54 @@
+#include "ecu/flash.hpp"
+
+#include <algorithm>
+
+namespace aseck::ecu {
+
+void Flash::provision(FirmwareImage img) {
+  banks_[0] = std::move(img);
+  active_bank_ = 0;
+  staged_bank_ = -1;
+  rollback_floor_ = banks_[0]->version;
+}
+
+bool Flash::stage(FirmwareImage img) {
+  if (img.version < rollback_floor_) return false;
+  const int bank = (active_bank_ == 0) ? 1 : 0;
+  banks_[bank] = std::move(img);
+  staged_bank_ = bank;
+  return true;
+}
+
+bool Flash::activate() {
+  if (staged_bank_ < 0 || !banks_[staged_bank_]) return false;
+  active_bank_ = staged_bank_;
+  staged_bank_ = -1;
+  return true;
+}
+
+void Flash::commit() {
+  if (active_bank_ >= 0 && banks_[active_bank_]) {
+    rollback_floor_ = std::max(rollback_floor_, banks_[active_bank_]->version);
+  }
+}
+
+bool Flash::revert() {
+  const int other = (active_bank_ == 0) ? 1 : 0;
+  if (active_bank_ < 0 || !banks_[other]) return false;
+  if (banks_[other]->version < rollback_floor_) return false;
+  active_bank_ = other;
+  staged_bank_ = -1;
+  return true;
+}
+
+const FirmwareImage* Flash::active() const {
+  return active_bank_ >= 0 && banks_[active_bank_] ? &*banks_[active_bank_]
+                                                   : nullptr;
+}
+
+const FirmwareImage* Flash::staged() const {
+  return staged_bank_ >= 0 && banks_[staged_bank_] ? &*banks_[staged_bank_]
+                                                   : nullptr;
+}
+
+}  // namespace aseck::ecu

@@ -1,0 +1,71 @@
+#pragma once
+// Firmware image and A/B-slot flash model with rollback counters. OTA
+// (src/ota) installs into the inactive slot and flips on successful
+// verification; secure boot measures the active slot.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::ecu {
+
+struct FirmwareImage {
+  std::string name;        // e.g. "brake-ctrl-fw"
+  std::uint32_t version = 0;
+  util::Bytes code;
+
+  crypto::Digest digest() const {
+    util::Bytes blob;
+    blob.insert(blob.end(), name.begin(), name.end());
+    util::append_be(blob, version, 4);
+    blob.insert(blob.end(), code.begin(), code.end());
+    return crypto::sha256(blob);
+  }
+  util::Bytes digest_bytes() const {
+    const auto d = digest();
+    return util::Bytes(d.begin(), d.end());
+  }
+};
+
+/// Dual-bank flash with anti-rollback.
+class Flash {
+ public:
+  /// Writes `img` into the inactive bank. Fails (returns false) if the image
+  /// version is below the rollback floor.
+  bool stage(FirmwareImage img);
+
+  /// Promotes the staged bank to active. The rollback floor is NOT raised
+  /// yet — the new image must pass its self-test first. Returns false if
+  /// nothing staged.
+  bool activate();
+
+  /// Confirms the active image after a successful self-test; raises the
+  /// rollback floor to its version, making downgrades permanent failures.
+  void commit();
+
+  /// Reverts to the previous bank (failed self-test after update); allowed
+  /// only if the previous image still satisfies the rollback floor.
+  bool revert();
+
+  const FirmwareImage* active() const;
+  const FirmwareImage* staged() const;
+  std::uint32_t rollback_floor() const { return rollback_floor_; }
+  /// Factory provisioning of the initial image.
+  void provision(FirmwareImage img);
+
+  /// Flash write latency model: ~50 us per 1 KiB page.
+  static double write_latency_us(std::size_t bytes) {
+    return 50.0 * static_cast<double>((bytes + 1023) / 1024);
+  }
+
+ private:
+  std::optional<FirmwareImage> banks_[2];
+  int active_bank_ = -1;  // -1 = unprovisioned
+  int staged_bank_ = -1;
+  std::uint32_t rollback_floor_ = 0;
+};
+
+}  // namespace aseck::ecu

@@ -1,0 +1,25 @@
+#include "ecu/keydiv.hpp"
+
+namespace aseck::ecu {
+
+crypto::Block derive_vehicle_key(const crypto::Block& fleet_master,
+                                 util::BytesView uid,
+                                 std::string_view purpose) {
+  // MP-compress(master || uid || purpose) with SHE padding: binds both the
+  // device identity and the key's role.
+  util::Bytes msg(fleet_master.begin(), fleet_master.end());
+  msg.insert(msg.end(), uid.begin(), uid.end());
+  msg.insert(msg.end(), purpose.begin(), purpose.end());
+  return crypto::mp_compress(msg, /*she_padding=*/true);
+}
+
+void provision_diversified(Ecu& ecu, const crypto::Block& fleet_master,
+                           FirmwareImage fw) {
+  const util::Bytes& uid = ecu.she().uid();
+  ecu.provision(std::move(fw),
+                derive_vehicle_key(fleet_master, uid, "master-ecu"),
+                derive_vehicle_key(fleet_master, uid, "boot-mac"),
+                derive_vehicle_key(fleet_master, uid, "secoc"));
+}
+
+}  // namespace aseck::ecu

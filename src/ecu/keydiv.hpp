@@ -1,0 +1,27 @@
+#pragma once
+// Fleet key diversification — the production countermeasure to the paper's
+// §4.2 fleet-compromise scenario ("many electronic components are produced
+// en masse with the same configuration of keys"). Every per-vehicle,
+// per-purpose key is derived from the fleet master and the device UID via
+// the SHE KDF, so extracting one vehicle's key reveals nothing about the
+// rest of the fleet, while the backend can re-derive any key on demand
+// (no per-vehicle key database needed).
+
+#include <string_view>
+
+#include "crypto/kdf.hpp"
+#include "ecu/ecu.hpp"
+
+namespace aseck::ecu {
+
+/// Derives a 128-bit vehicle key: KDF chain over master, UID, and a purpose
+/// label (e.g. "secoc", "ota-auth", "immobilizer").
+crypto::Block derive_vehicle_key(const crypto::Block& fleet_master,
+                                 util::BytesView uid, std::string_view purpose);
+
+/// Factory provisioning helper: installs diversified master/boot/SecOC keys
+/// on an ECU from the fleet master and the ECU's own UID.
+void provision_diversified(Ecu& ecu, const crypto::Block& fleet_master,
+                           FirmwareImage fw);
+
+}  // namespace aseck::ecu

@@ -1,0 +1,178 @@
+#include "gateway/gateway.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aseck::gateway {
+
+bool FirewallRule::matches(const std::string& from, const std::string& to,
+                           const CanFrame& f) const {
+  if (from_domain != "*" && from_domain != from) return false;
+  if (to_domain != "*" && to_domain != to) return false;
+  return f.id >= id_min && f.id <= id_max;
+}
+
+bool SecurityGateway::Flow::admit(SimTime now) {
+  if (limit.frames_per_sec <= 0) return true;
+  tokens = std::min(limit.burst,
+                    tokens + (now - last).seconds() * limit.frames_per_sec);
+  last = now;
+  if (tokens >= 1.0) {
+    tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+/// Per-domain CAN attachment: relays received frames into the gateway core.
+class SecurityGateway::Port : public ivn::CanNode {
+ public:
+  Port(SecurityGateway* gw, std::string domain)
+      : ivn::CanNode("gw:" + domain), gw_(gw), domain_(std::move(domain)) {}
+
+  void on_frame(const CanFrame& frame, SimTime at) override {
+    gw_->on_domain_frame(domain_, frame, at);
+  }
+
+ private:
+  SecurityGateway* gw_;
+  std::string domain_;
+};
+
+SecurityGateway::SecurityGateway(Scheduler& sched, std::string name,
+                                 SimTime processing_delay)
+    : sched_(sched), name_(std::move(name)), processing_delay_(processing_delay) {}
+
+SecurityGateway::~SecurityGateway() {
+  for (auto& [dom, d] : domains_) {
+    if (d.bus && d.port) d.bus->detach(d.port.get());
+  }
+}
+
+void SecurityGateway::add_domain(const std::string& domain, CanBus* bus) {
+  if (domains_.count(domain)) {
+    throw std::invalid_argument("SecurityGateway: duplicate domain " + domain);
+  }
+  Domain d;
+  d.bus = bus;
+  d.port = std::make_unique<Port>(this, domain);
+  bus->attach(d.port.get());
+  domains_[domain] = std::move(d);
+}
+
+void SecurityGateway::add_route(std::uint32_t id, const std::string& from,
+                                const std::string& to) {
+  if (!domains_.count(from) || !domains_.count(to)) {
+    throw std::invalid_argument("SecurityGateway: route references unknown domain");
+  }
+  routes_[id][from].push_back(to);
+}
+
+void SecurityGateway::add_rule(FirewallRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void SecurityGateway::set_rate_limit(const std::string& domain, std::uint32_t id,
+                                     RateLimit rl) {
+  Flow f;
+  f.limit = rl;
+  f.tokens = rl.burst;
+  f.last = sched_.now();
+  flows_[domain][id] = f;
+}
+
+void SecurityGateway::set_domain_rate_limit(const std::string& domain,
+                                            RateLimit rl) {
+  domains_.at(domain).domain_limit = rl;
+}
+
+void SecurityGateway::quarantine(const std::string& domain, bool on) {
+  domains_.at(domain).quarantined = on;
+  trace_.record(sched_.now(), name_, on ? "quarantine" : "release", domain);
+}
+
+bool SecurityGateway::quarantined(const std::string& domain) const {
+  return domains_.at(domain).quarantined;
+}
+
+void SecurityGateway::drop(const std::string& domain, const CanFrame& frame,
+                           DropReason r) {
+  switch (r) {
+    case DropReason::kNoRoute: ++stats_.dropped_no_route; break;
+    case DropReason::kFirewallDeny:
+    case DropReason::kPayloadRule: ++stats_.dropped_firewall; break;
+    case DropReason::kRateLimited: ++stats_.dropped_rate; break;
+    case DropReason::kQuarantined: ++stats_.dropped_quarantine; break;
+  }
+  trace_.record(sched_.now(), name_, "drop",
+                domain + " id=" + std::to_string(frame.id));
+  if (drop_observer_) drop_observer_(domain, frame, r);
+}
+
+void SecurityGateway::on_domain_frame(const std::string& domain,
+                                      const CanFrame& frame, SimTime at) {
+  (void)at;
+  Domain& src = domains_.at(domain);
+  if (src.quarantined) {
+    drop(domain, frame, DropReason::kQuarantined);
+    return;
+  }
+
+  const auto rit = routes_.find(frame.id);
+  if (rit == routes_.end()) {
+    drop(domain, frame, DropReason::kNoRoute);
+    return;
+  }
+  const auto dit = rit->second.find(domain);
+  if (dit == rit->second.end()) {
+    drop(domain, frame, DropReason::kNoRoute);
+    return;
+  }
+
+  // Rate limiting: per-id flow if configured, else domain-wide flow.
+  auto& domain_flows = flows_[domain];
+  auto fit = domain_flows.find(frame.id);
+  if (fit == domain_flows.end() && src.domain_limit) {
+    Flow f;
+    f.limit = *src.domain_limit;
+    f.tokens = src.domain_limit->burst;
+    f.last = sched_.now();
+    fit = domain_flows.emplace(frame.id, f).first;
+  }
+  if (fit != domain_flows.end() && !fit->second.admit(sched_.now())) {
+    drop(domain, frame, DropReason::kRateLimited);
+    return;
+  }
+
+  for (const std::string& to : dit->second) {
+    Domain& dst = domains_.at(to);
+    if (dst.quarantined) {
+      drop(domain, frame, DropReason::kQuarantined);
+      continue;
+    }
+    // Firewall: first matching rule wins; routed traffic defaults to allow.
+    bool allow = true;
+    for (const FirewallRule& rule : rules_) {
+      if (rule.matches(domain, to, frame)) {
+        allow = rule.allow &&
+                (!rule.max_dlc || frame.data.size() <= *rule.max_dlc);
+        break;
+      }
+    }
+    if (!allow) {
+      drop(domain, frame, DropReason::kFirewallDeny);
+      continue;
+    }
+    ++stats_.forwarded;
+    trace_.record(sched_.now(), name_, "forward",
+                  domain + "->" + to + " id=" + std::to_string(frame.id));
+    CanFrame copy = frame;
+    CanBus* bus = dst.bus;
+    ivn::CanNode* port = dst.port.get();
+    sched_.schedule_in(processing_delay_, [bus, port, copy = std::move(copy)] {
+      bus->send(port, copy);
+    });
+  }
+}
+
+}  // namespace aseck::gateway

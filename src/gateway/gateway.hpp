@@ -1,0 +1,146 @@
+#pragma once
+// Central secure gateway — layer 2 of the paper's 4+1 security assurance
+// architecture. Bridges in-vehicle network domains (e.g. powertrain,
+// chassis, body, infotainment, telematics), enforcing:
+//   * a routing table (which IDs cross which domain boundary),
+//   * stateful firewall rules (direction, ID ranges, payload constraints),
+//   * per-flow token-bucket rate limiting (DoS mitigation), and
+//   * domain quarantine (isolating a compromised IVN, Section 7).
+//
+// Experiment E6 measures containment and the forwarding-latency overhead.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ivn/can.hpp"
+#include "sim/trace.hpp"
+
+namespace aseck::gateway {
+
+using ivn::CanBus;
+using ivn::CanFrame;
+using sim::Scheduler;
+using sim::SimTime;
+
+/// Why a frame was not forwarded.
+enum class DropReason {
+  kNoRoute,
+  kFirewallDeny,
+  kRateLimited,
+  kQuarantined,
+  kPayloadRule,
+};
+
+/// Firewall rule: matches a frame by source domain, destination domain, and
+/// ID range; the first matching rule decides. `max_dlc` optionally bounds
+/// the payload size (e.g. diagnostics writes).
+struct FirewallRule {
+  std::string from_domain = "*";  // "*" = any
+  std::string to_domain = "*";    // "*" = any
+  std::uint32_t id_min = 0;
+  std::uint32_t id_max = 0x1fffffff;
+  bool allow = false;
+  std::optional<std::size_t> max_dlc;
+
+  bool matches(const std::string& from, const std::string& to,
+               const CanFrame& f) const;
+};
+
+/// Token bucket for (domain, id) flows.
+struct RateLimit {
+  double frames_per_sec = 0;  // 0 = unlimited
+  double burst = 10;
+};
+
+struct GatewayStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_firewall = 0;
+  std::uint64_t dropped_rate = 0;
+  std::uint64_t dropped_quarantine = 0;
+  std::uint64_t total_drops() const {
+    return dropped_no_route + dropped_firewall + dropped_rate +
+           dropped_quarantine;
+  }
+};
+
+class SecurityGateway {
+ public:
+  /// `processing_delay` models firewall/lookup cost per frame.
+  SecurityGateway(Scheduler& sched, std::string name,
+                  SimTime processing_delay = SimTime::from_us(50));
+  ~SecurityGateway();
+
+  SecurityGateway(const SecurityGateway&) = delete;
+  SecurityGateway& operator=(const SecurityGateway&) = delete;
+
+  /// Attaches a bus as a named domain.
+  void add_domain(const std::string& domain, CanBus* bus);
+
+  /// Adds a route: frames with `id` arriving from `from` are forwarded to
+  /// `to` (subject to firewall/rate/quarantine checks).
+  void add_route(std::uint32_t id, const std::string& from, const std::string& to);
+
+  /// Appends a firewall rule (first match wins; default = allow if routed).
+  void add_rule(FirewallRule rule);
+
+  /// Sets a rate limit for frames with `id` arriving from `domain`.
+  void set_rate_limit(const std::string& domain, std::uint32_t id, RateLimit rl);
+  /// Domain-wide rate limit applied to every flow from `domain` without a
+  /// per-id limit.
+  void set_domain_rate_limit(const std::string& domain, RateLimit rl);
+
+  /// Quarantines / releases a domain.
+  void quarantine(const std::string& domain, bool on = true);
+  bool quarantined(const std::string& domain) const;
+
+  const GatewayStats& stats() const { return stats_; }
+  sim::TraceSink& trace() { return trace_; }
+
+  /// Observer invoked for each drop (used by the IDS/policy layers).
+  using DropObserver =
+      std::function<void(const std::string& domain, const CanFrame&, DropReason)>;
+  void set_drop_observer(DropObserver obs) { drop_observer_ = std::move(obs); }
+
+  SimTime processing_delay() const { return processing_delay_; }
+  void set_processing_delay(SimTime d) { processing_delay_ = d; }
+
+ private:
+  class Port;  // CanNode adapter per domain
+
+  struct Flow {
+    RateLimit limit;
+    double tokens = 0;
+    SimTime last = SimTime::zero();
+    bool admit(SimTime now);
+  };
+
+  void on_domain_frame(const std::string& domain, const CanFrame& frame,
+                       SimTime at);
+  void drop(const std::string& domain, const CanFrame& frame, DropReason r);
+
+  Scheduler& sched_;
+  std::string name_;
+  SimTime processing_delay_;
+  struct Domain {
+    CanBus* bus = nullptr;
+    std::unique_ptr<Port> port;
+    bool quarantined = false;
+    std::optional<RateLimit> domain_limit;
+  };
+  std::map<std::string, Domain> domains_;
+  // id -> (from domain -> list of destination domains)
+  std::map<std::uint32_t, std::map<std::string, std::vector<std::string>>> routes_;
+  std::vector<FirewallRule> rules_;
+  std::map<std::string, std::map<std::uint32_t, Flow>> flows_;
+  GatewayStats stats_;
+  sim::TraceSink trace_;
+  DropObserver drop_observer_;
+};
+
+}  // namespace aseck::gateway

@@ -1,0 +1,157 @@
+#pragma once
+// CAN 2.0A/B and CAN FD bus model.
+//
+// The model is frame-level event-driven with bit-accurate timing: frame
+// transmission time is computed from the actual serialized bit stream
+// including stuff bits, and arbitration follows CSMA/CR identifier priority
+// exactly (lowest numeric ID wins; among equal IDs the transmitter that
+// enqueued first wins, which models the dominant-bit tie never occurring on
+// a real bus with unique IDs).
+//
+// Error handling implements the CAN fault-confinement state machine (TEC/REC
+// counters, error-active -> error-passive -> bus-off), which is what the
+// bus-off attack in src/attacks exploits.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::ivn {
+
+using sim::Scheduler;
+using sim::SimTime;
+
+/// Wire format family of a frame.
+enum class CanFormat { kClassic, kFd };
+
+struct CanFrame {
+  std::uint32_t id = 0;       // 11-bit (or 29-bit if extended)
+  bool extended = false;      // IDE
+  bool remote = false;        // RTR (classic only)
+  CanFormat format = CanFormat::kClassic;
+  bool brs = false;           // FD bit-rate switch
+  util::Bytes data;           // <= 8 (classic) or <= 64 (FD)
+
+  /// Valid DLC payload sizes for CAN FD.
+  static std::size_t fd_round_up(std::size_t n);
+  /// True iff id/data lengths are legal for the format.
+  bool valid() const;
+  /// Serialized bits from SOF through CRC (stuffing region), for timing.
+  std::vector<bool> stuff_region_bits() const;
+  /// Total on-wire bit count including stuff bits, delimiters, ACK, EOF, IFS.
+  /// For FD frames `arbitration_bits` receives the count sent at nominal
+  /// rate, the rest at data rate.
+  std::size_t wire_bits(std::size_t* arbitration_bits = nullptr) const;
+};
+
+/// CAN node fault-confinement state.
+enum class CanNodeState { kErrorActive, kErrorPassive, kBusOff };
+
+class CanBus;
+
+/// A device attached to a CAN bus. ECUs, the gateway, the IDS tap, and
+/// attackers all implement this.
+class CanNode {
+ public:
+  explicit CanNode(std::string name) : name_(std::move(name)) {}
+  virtual ~CanNode() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Called for every successfully transmitted frame from *other* nodes.
+  virtual void on_frame(const CanFrame& frame, SimTime at) = 0;
+  /// Called when one of this node's frames completed transmission.
+  virtual void on_tx_done(const CanFrame& frame, SimTime at) {
+    (void)frame;
+    (void)at;
+  }
+  /// Called when this node enters bus-off.
+  virtual void on_bus_off(SimTime at) { (void)at; }
+
+  CanNodeState state() const { return state_; }
+  int tec() const { return tec_; }
+  int rec() const { return rec_; }
+
+ private:
+  friend class CanBus;
+  std::string name_;
+  CanNodeState state_ = CanNodeState::kErrorActive;
+  int tec_ = 0;  // transmit error counter
+  int rec_ = 0;  // receive error counter
+  std::deque<CanFrame> tx_queue_;
+};
+
+/// Per-bus statistics.
+struct CanBusStats {
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_error = 0;
+  std::uint64_t bits_on_wire = 0;
+  SimTime busy_time = SimTime::zero();
+  double bus_load(SimTime elapsed) const {
+    return elapsed.ns == 0 ? 0.0
+                           : static_cast<double>(busy_time.ns) /
+                                 static_cast<double>(elapsed.ns);
+  }
+};
+
+/// Hook invoked when a frame *starts* transmission; returning true destroys
+/// the frame with a bit error (models an adversary driving dominant bits —
+/// the bus-off attack primitive). Receives the transmitting node.
+using ErrorInjector = std::function<bool(const CanFrame&, const CanNode&)>;
+
+class CanBus {
+ public:
+  /// `data_bitrate` only matters for FD frames with BRS.
+  CanBus(Scheduler& sched, std::string name, std::uint64_t bitrate_bps,
+         std::uint64_t data_bitrate_bps = 0);
+
+  const std::string& name() const { return name_; }
+
+  void attach(CanNode* node);
+  void detach(CanNode* node);
+
+  /// Enqueues a frame for transmission by `node`. Returns false if the node
+  /// is bus-off or the frame is invalid.
+  bool send(CanNode* node, CanFrame frame);
+
+  /// Frames pending across all nodes.
+  std::size_t pending() const;
+
+  const CanBusStats& stats() const { return stats_; }
+  sim::TraceSink& trace() { return trace_; }
+
+  void set_error_injector(ErrorInjector injector) {
+    error_injector_ = std::move(injector);
+  }
+
+  /// Time to serialize `frame` on this bus.
+  SimTime frame_time(const CanFrame& frame) const;
+
+  /// Clears a node's bus-off state (models the 128x11-recessive-bit recovery
+  /// plus host intervention).
+  void recover(CanNode* node);
+
+ private:
+  void try_start_tx();
+  void finish_tx(CanNode* node, const CanFrame& frame, bool errored);
+  void bump_tx_error(CanNode* node);
+
+  Scheduler& sched_;
+  std::string name_;
+  std::uint64_t bitrate_;
+  std::uint64_t data_bitrate_;
+  std::vector<CanNode*> nodes_;
+  bool busy_ = false;
+  CanBusStats stats_;
+  sim::TraceSink trace_;
+  ErrorInjector error_injector_;
+};
+
+}  // namespace aseck::ivn

@@ -1,0 +1,114 @@
+#pragma once
+// FlexRay bus model: TDMA communication cycle with a static segment
+// (deterministic slots) and a dynamic segment (minislot priority access).
+// FlexRay carries chassis/ADAS traffic (steering, braking) in the vehicle
+// models, where deterministic latency is the safety argument.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::ivn {
+
+using sim::Scheduler;
+using sim::SimTime;
+
+struct FlexRayFrame {
+  std::uint16_t slot_id = 0;     // 1..static_slots for static frames
+  std::uint8_t cycle = 0;        // cycle counter when sent
+  util::Bytes payload;           // up to 254 bytes (2-byte words)
+  bool null_frame = false;       // slot owner had nothing to send
+};
+
+struct FlexRayConfig {
+  std::uint16_t static_slots = 20;
+  std::uint16_t dynamic_minislots = 40;
+  SimTime static_slot_len = SimTime::from_us(50);
+  SimTime minislot_len = SimTime::from_us(5);
+  SimTime nit_len = SimTime::from_us(100);  // network idle time
+  std::uint64_t bitrate_bps = 10'000'000;   // 10 Mbit/s
+
+  SimTime cycle_length() const {
+    return static_slot_len * static_slots + minislot_len * dynamic_minislots +
+           nit_len;
+  }
+};
+
+/// A FlexRay controller owns one or more static slots and may queue dynamic
+/// frames with a priority (= dynamic slot id; lower transmits earlier).
+class FlexRayNode {
+ public:
+  explicit FlexRayNode(std::string name) : name_(std::move(name)) {}
+  virtual ~FlexRayNode() = default;
+  const std::string& name() const { return name_; }
+
+  /// Asked at the start of the node's static slot; return payload or nullopt
+  /// (-> null frame).
+  virtual std::optional<util::Bytes> static_payload(std::uint16_t slot,
+                                                    std::uint8_t cycle) = 0;
+  /// Observes every non-null frame on the bus.
+  virtual void on_frame(const FlexRayFrame& frame, SimTime at) {
+    (void)frame;
+    (void)at;
+  }
+
+ private:
+  std::string name_;
+};
+
+class FlexRayBus {
+ public:
+  FlexRayBus(Scheduler& sched, std::string name, FlexRayConfig cfg = {});
+
+  /// Assigns `slot` (1-based, <= static_slots) to the node. A slot has
+  /// exactly one owner; reassigning throws.
+  void assign_static_slot(std::uint16_t slot, FlexRayNode* node);
+  void attach_listener(FlexRayNode* node);
+
+  /// Queues a dynamic-segment frame with minislot priority `dyn_id`
+  /// (1-based). Sent in the next dynamic segment if it fits.
+  void send_dynamic(FlexRayNode* from, std::uint16_t dyn_id, util::Bytes payload);
+
+  /// Starts the cyclic schedule.
+  void start();
+  void stop();
+
+  std::uint8_t cycle() const { return cycle_; }
+  std::uint64_t static_frames() const { return static_frames_; }
+  std::uint64_t null_frames() const { return null_frames_; }
+  std::uint64_t dynamic_frames() const { return dynamic_frames_; }
+  std::uint64_t dynamic_dropped() const { return dynamic_dropped_; }
+  const FlexRayConfig& config() const { return cfg_; }
+  sim::TraceSink& trace() { return trace_; }
+
+ private:
+  void run_cycle();
+
+  Scheduler& sched_;
+  std::string name_;
+  FlexRayConfig cfg_;
+  std::map<std::uint16_t, FlexRayNode*> static_owners_;
+  std::vector<FlexRayNode*> listeners_;
+  struct DynEntry {
+    std::uint16_t dyn_id;
+    FlexRayNode* from;
+    util::Bytes payload;
+  };
+  std::vector<DynEntry> dyn_queue_;
+  bool running_ = false;
+  std::uint8_t cycle_ = 0;
+  std::uint64_t static_frames_ = 0;
+  std::uint64_t null_frames_ = 0;
+  std::uint64_t dynamic_frames_ = 0;
+  std::uint64_t dynamic_dropped_ = 0;
+  sim::TraceSink trace_;
+};
+
+}  // namespace aseck::ivn

@@ -1,0 +1,99 @@
+#pragma once
+// LIN 2.x bus model: single master with a schedule table, slaves respond to
+// headers. Models protected identifiers (parity), classic/enhanced checksum,
+// and 19.2 kbit/s-class timing. LIN carries body-domain traffic (seats,
+// window lifts, key fob receiver) in the vehicle models.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::ivn {
+
+using sim::Scheduler;
+using sim::SimTime;
+
+/// Computes the protected identifier: 6-bit id + two parity bits (LIN 2.x).
+std::uint8_t lin_protected_id(std::uint8_t id6);
+/// Enhanced checksum over PID + data (LIN 2.x); classic omits the PID.
+std::uint8_t lin_checksum(std::uint8_t pid, util::BytesView data, bool enhanced);
+
+struct LinFrame {
+  std::uint8_t id = 0;  // 6-bit
+  util::Bytes data;     // 1..8 bytes
+  bool enhanced_checksum = true;
+};
+
+/// A slave publishes responses for the ids it owns and consumes others.
+class LinSlave {
+ public:
+  explicit LinSlave(std::string name) : name_(std::move(name)) {}
+  virtual ~LinSlave() = default;
+  const std::string& name() const { return name_; }
+
+  /// Returns the response payload if this slave answers `id`.
+  virtual std::optional<util::Bytes> respond(std::uint8_t id) = 0;
+  /// Observes a completed frame (header + response) on the bus.
+  virtual void on_frame(const LinFrame& frame, SimTime at) {
+    (void)frame;
+    (void)at;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Schedule table entry: which id to poll and the slot duration.
+struct LinSlot {
+  std::uint8_t id = 0;
+  SimTime slot_time = SimTime::from_ms(10);
+};
+
+class LinMaster {
+ public:
+  LinMaster(Scheduler& sched, std::string name, std::uint64_t bitrate_bps = 19200);
+
+  void attach(LinSlave* slave);
+  void set_schedule(std::vector<LinSlot> table);
+  /// Starts cycling through the schedule table.
+  void start();
+  void stop();
+
+  /// Frames completed (with a responder).
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  /// Headers that no slave answered.
+  std::uint64_t no_response() const { return no_response_; }
+  /// Observed checksum errors (corruption injection).
+  std::uint64_t checksum_errors() const { return checksum_errors_; }
+
+  /// Corruption hook: called with the response payload before delivery; may
+  /// mutate it (returns true if mutated) to model noise/attack.
+  using Corruptor = std::function<bool(util::Bytes&)>;
+  void set_corruptor(Corruptor c) { corruptor_ = std::move(c); }
+
+  sim::TraceSink& trace() { return trace_; }
+
+ private:
+  void run_slot(std::size_t index);
+
+  Scheduler& sched_;
+  std::string name_;
+  std::uint64_t bitrate_;
+  std::vector<LinSlave*> slaves_;
+  std::vector<LinSlot> schedule_;
+  bool running_ = false;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t no_response_ = 0;
+  std::uint64_t checksum_errors_ = 0;
+  Corruptor corruptor_;
+  sim::TraceSink trace_;
+};
+
+}  // namespace aseck::ivn

@@ -1,0 +1,119 @@
+#include "ivn/secoc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aseck::ivn {
+
+std::uint64_t FreshnessManager::next_tx(std::uint16_t data_id) {
+  return ++tx_[data_id];
+}
+
+std::uint64_t FreshnessManager::last_rx(std::uint16_t data_id) const {
+  const auto it = rx_.find(data_id);
+  return it == rx_.end() ? 0 : it->second;
+}
+
+void FreshnessManager::accept_rx(std::uint16_t data_id, std::uint64_t value) {
+  rx_[data_id] = value;
+}
+
+void FreshnessManager::set_tx(std::uint16_t data_id, std::uint64_t value) {
+  tx_[data_id] = value;
+}
+
+SecOcChannel::SecOcChannel(util::BytesView key, SecOcConfig cfg)
+    : cmac_(key), cfg_(cfg) {
+  if (cfg_.mac_bytes == 0 || cfg_.mac_bytes > 16) {
+    throw std::invalid_argument("SecOcChannel: mac_bytes must be 1..16");
+  }
+  if (cfg_.freshness_bytes > 8) {
+    throw std::invalid_argument("SecOcChannel: freshness_bytes must be <= 8");
+  }
+}
+
+util::Bytes SecOcChannel::mac_input(std::uint16_t data_id,
+                                    util::BytesView payload,
+                                    std::uint64_t freshness) const {
+  util::Bytes in;
+  in.reserve(2 + payload.size() + 8);
+  util::append_be(in, data_id, 2);
+  in.insert(in.end(), payload.begin(), payload.end());
+  util::append_be(in, freshness, 8);
+  return in;
+}
+
+util::Bytes SecOcChannel::protect(std::uint16_t data_id, util::BytesView payload,
+                                  FreshnessManager& fm) const {
+  const std::uint64_t fresh = fm.next_tx(data_id);
+  util::Bytes pdu(payload.begin(), payload.end());
+  if (cfg_.freshness_bytes > 0) {
+    util::append_be(pdu, fresh, cfg_.freshness_bytes);  // truncated LSBs
+  }
+  const util::Bytes mac =
+      cmac_.tag_truncated(mac_input(data_id, payload, fresh), cfg_.mac_bytes);
+  pdu.insert(pdu.end(), mac.begin(), mac.end());
+  return pdu;
+}
+
+SecOcChannel::VerifyResult SecOcChannel::verify(std::uint16_t data_id,
+                                                util::BytesView secured,
+                                                FreshnessManager& fm) const {
+  const std::size_t overhead_len = overhead();
+  if (secured.size() < overhead_len) return {SecOcStatus::kTooShort, {}};
+  const std::size_t payload_len = secured.size() - overhead_len;
+  const util::BytesView payload = secured.subspan(0, payload_len);
+  const util::BytesView fresh_trunc =
+      secured.subspan(payload_len, cfg_.freshness_bytes);
+  const util::BytesView mac =
+      secured.subspan(payload_len + cfg_.freshness_bytes, cfg_.mac_bytes);
+
+  const std::uint64_t last = fm.last_rx(data_id);
+
+  // Reconstruct the full freshness from its truncated LSBs: find the
+  // smallest candidate > last whose low bits match, within the window.
+  std::uint64_t candidate;
+  if (cfg_.freshness_bytes == 0) {
+    candidate = last + 1;  // pure implicit freshness: try successors
+  } else {
+    const unsigned bits = static_cast<unsigned>(cfg_.freshness_bytes * 8);
+    std::uint64_t trunc = 0;
+    for (std::uint8_t b : fresh_trunc) trunc = (trunc << 8) | b;
+    const std::uint64_t modulus =
+        (bits >= 64) ? 0 : (std::uint64_t{1} << bits);
+    if (modulus == 0) {
+      candidate = trunc;  // full freshness transmitted
+      if (candidate <= last) return {SecOcStatus::kFreshnessReplay, {}};
+    } else {
+      const std::uint64_t base = last & ~(modulus - 1);
+      candidate = base | trunc;
+      if (candidate <= last) candidate += modulus;
+      if (candidate - last > cfg_.freshness_window) {
+        return {SecOcStatus::kFreshnessOutOfWindow, {}};
+      }
+    }
+  }
+
+  const util::Bytes expect_input = mac_input(data_id, payload, candidate);
+  if (!cmac_.verify(expect_input, mac)) {
+    // With implicit freshness, scan the window for the matching successor.
+    if (cfg_.freshness_bytes == 0) {
+      for (std::uint64_t f = candidate + 1; f <= last + cfg_.freshness_window;
+           ++f) {
+        if (cmac_.verify(mac_input(data_id, payload, f), mac)) {
+          fm.accept_rx(data_id, f);
+          return {SecOcStatus::kOk, util::Bytes(payload.begin(), payload.end())};
+        }
+      }
+    }
+    return {SecOcStatus::kMacMismatch, {}};
+  }
+  fm.accept_rx(data_id, candidate);
+  return {SecOcStatus::kOk, util::Bytes(payload.begin(), payload.end())};
+}
+
+double SecOcChannel::forgery_probability() const {
+  return std::pow(2.0, -8.0 * static_cast<double>(cfg_.mac_bytes));
+}
+
+}  // namespace aseck::ivn

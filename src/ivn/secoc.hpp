@@ -1,0 +1,83 @@
+#pragma once
+// AUTOSAR SecOC-style onboard communication protection: a truncated
+// freshness value plus a truncated AES-CMAC are appended to each protected
+// PDU. The truncation lengths are the central security/bandwidth trade-off
+// that experiment E1 sweeps (paper Section 6, "Optimization Needs").
+//
+// MAC input = DataId (16-bit BE) || payload || full freshness (64-bit BE).
+// Wire format = payload || truncated freshness || truncated MAC.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "crypto/cmac.hpp"
+#include "util/bytes.hpp"
+
+namespace aseck::ivn {
+
+struct SecOcConfig {
+  std::size_t mac_bytes = 4;        // truncated MAC length (1..16)
+  std::size_t freshness_bytes = 1;  // truncated freshness length (0..8)
+  std::uint64_t freshness_window = 16;  // acceptance window for reconstruction
+};
+
+/// Freshness value manager: monotone 64-bit counters per data id.
+class FreshnessManager {
+ public:
+  /// Next value for transmission (increments).
+  std::uint64_t next_tx(std::uint16_t data_id);
+  /// Last accepted value on the receive side.
+  std::uint64_t last_rx(std::uint16_t data_id) const;
+  /// Records an accepted receive value.
+  void accept_rx(std::uint16_t data_id, std::uint64_t value);
+  /// Forces the tx counter (used by tests / resync).
+  void set_tx(std::uint16_t data_id, std::uint64_t value);
+
+ private:
+  std::map<std::uint16_t, std::uint64_t> tx_;
+  std::map<std::uint16_t, std::uint64_t> rx_;
+};
+
+/// Result of verifying a secured PDU.
+enum class SecOcStatus {
+  kOk,
+  kTooShort,
+  kMacMismatch,
+  kFreshnessReplay,   // freshness not newer than last accepted
+  kFreshnessOutOfWindow,
+};
+
+class SecOcChannel {
+ public:
+  SecOcChannel(util::BytesView key, SecOcConfig cfg = {});
+
+  /// Builds a secured PDU for `payload` under `data_id`.
+  util::Bytes protect(std::uint16_t data_id, util::BytesView payload,
+                      FreshnessManager& fm) const;
+
+  /// Verifies a secured PDU; on success returns the payload and records the
+  /// freshness in `fm`.
+  struct VerifyResult {
+    SecOcStatus status;
+    util::Bytes payload;
+  };
+  VerifyResult verify(std::uint16_t data_id, util::BytesView secured,
+                      FreshnessManager& fm) const;
+
+  const SecOcConfig& config() const { return cfg_; }
+  /// Bytes of security overhead per PDU.
+  std::size_t overhead() const { return cfg_.mac_bytes + cfg_.freshness_bytes; }
+
+  /// Probability that a random forgery passes the MAC check: 2^-8*mac_bytes.
+  double forgery_probability() const;
+
+ private:
+  util::Bytes mac_input(std::uint16_t data_id, util::BytesView payload,
+                        std::uint64_t freshness) const;
+
+  crypto::Cmac cmac_;
+  SecOcConfig cfg_;
+};
+
+}  // namespace aseck::ivn

@@ -1,0 +1,146 @@
+#include "ivn/uds.hpp"
+
+namespace aseck::ivn {
+
+SeedKeyFn weak_xor_algorithm(std::uint32_t secret_constant) {
+  return [secret_constant](util::BytesView seed) {
+    util::Bytes key(seed.begin(), seed.end());
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      key[i] ^= static_cast<std::uint8_t>(secret_constant >> (8 * (i % 4)));
+    }
+    return key;
+  };
+}
+
+SeedKeyFn cmac_algorithm(util::Bytes key16) {
+  return [key16 = std::move(key16)](util::BytesView seed) {
+    return crypto::Cmac(key16).tag_truncated(seed, 4);
+  };
+}
+
+UdsServer::UdsServer(Config cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed) {}
+
+bool UdsServer::locked_out(double now_s) const {
+  return now_s < lockout_until_s_;
+}
+
+UdsResponse UdsServer::session_control(UdsSession target, double now_s) {
+  (void)now_s;
+  // Programming session requires unlock; extended/default do not.
+  if (target == UdsSession::kProgramming && !unlocked_) {
+    return {false, UdsNrc::kSecurityAccessDenied, {}};
+  }
+  session_ = target;
+  // Re-locking on session change back to default (standard behavior).
+  if (target == UdsSession::kDefault) unlocked_ = false;
+  return {true, UdsNrc::kNone, {static_cast<std::uint8_t>(target)}};
+}
+
+UdsResponse UdsServer::request_seed(double now_s) {
+  if (session_ == UdsSession::kDefault) {
+    return {false, UdsNrc::kConditionsNotCorrect, {}};
+  }
+  if (locked_out(now_s)) {
+    return {false, UdsNrc::kRequiredTimeDelayNotExpired, {}};
+  }
+  if (unlocked_) {
+    // Already unlocked: spec returns a zero seed.
+    return {true, UdsNrc::kNone, util::Bytes(cfg_.seed_bytes, 0)};
+  }
+  pending_seed_ = rng_.bytes(cfg_.seed_bytes);
+  return {true, UdsNrc::kNone, *pending_seed_};
+}
+
+UdsResponse UdsServer::send_key(util::BytesView key, double now_s) {
+  if (locked_out(now_s)) {
+    return {false, UdsNrc::kRequiredTimeDelayNotExpired, {}};
+  }
+  if (!pending_seed_) {
+    return {false, UdsNrc::kConditionsNotCorrect, {}};
+  }
+  const util::Bytes expected = cfg_.seed_key(*pending_seed_);
+  pending_seed_.reset();  // one attempt per seed
+  if (util::ct_equal(expected, key)) {
+    unlocked_ = true;
+    failed_attempts_ = 0;
+    return {true, UdsNrc::kNone, {}};
+  }
+  ++failed_attempts_;
+  if (failed_attempts_ >= cfg_.max_attempts) {
+    lockout_until_s_ = now_s + cfg_.lockout_s;
+    failed_attempts_ = 0;
+    return {false, UdsNrc::kExceededAttempts, {}};
+  }
+  return {false, UdsNrc::kInvalidKey, {}};
+}
+
+UdsResponse UdsServer::read_data(std::uint16_t did) {
+  const auto it = dids_.find(did);
+  if (it == dids_.end()) return {false, UdsNrc::kRequestOutOfRange, {}};
+  return {true, UdsNrc::kNone, it->second.value};
+}
+
+UdsResponse UdsServer::write_data(std::uint16_t did, util::BytesView value,
+                                  double now_s) {
+  (void)now_s;
+  const auto it = dids_.find(did);
+  if (it == dids_.end()) return {false, UdsNrc::kRequestOutOfRange, {}};
+  if (it->second.write_protected && !unlocked_) {
+    return {false, UdsNrc::kSecurityAccessDenied, {}};
+  }
+  it->second.value.assign(value.begin(), value.end());
+  return {true, UdsNrc::kNone, {}};
+}
+
+UdsResponse UdsServer::request_download(double now_s) {
+  (void)now_s;
+  if (session_ != UdsSession::kProgramming) {
+    return {false, UdsNrc::kConditionsNotCorrect, {}};
+  }
+  if (!unlocked_) return {false, UdsNrc::kSecurityAccessDenied, {}};
+  return {true, UdsNrc::kNone, {0x20, 0x10}};  // maxNumberOfBlockLength
+}
+
+void UdsServer::define_did(std::uint16_t did, util::Bytes value,
+                           bool write_protected) {
+  dids_[did] = DidEntry{std::move(value), write_protected};
+}
+
+UdsAttackResult brute_force_security_access(UdsServer& server,
+                                            std::uint64_t max_tries,
+                                            double start_time_s,
+                                            util::Rng& rng) {
+  UdsAttackResult out;
+  double now = start_time_s;
+  server.session_control(UdsSession::kExtended, now);
+  for (std::uint64_t i = 0; i < max_tries; ++i) {
+    const UdsResponse seed_resp = server.request_seed(now);
+    if (!seed_resp.positive) {
+      if (seed_resp.nrc == UdsNrc::kRequiredTimeDelayNotExpired) {
+        out.locked_out = true;
+        return out;
+      }
+      now += 0.01;
+      continue;
+    }
+    // Guess: random constant applied to the observed seed (models an
+    // attacker who knows the algorithm family but not the constant).
+    const auto guess_const = static_cast<std::uint32_t>(rng.next_u64());
+    const util::Bytes guess = weak_xor_algorithm(guess_const)(seed_resp.data);
+    ++out.attempts;
+    const UdsResponse key_resp = server.send_key(guess, now);
+    if (key_resp.positive) {
+      out.unlocked = true;
+      return out;
+    }
+    if (key_resp.nrc == UdsNrc::kExceededAttempts) {
+      out.locked_out = true;
+      return out;
+    }
+    now += 0.05;  // tester cadence
+  }
+  return out;
+}
+
+}  // namespace aseck::ivn

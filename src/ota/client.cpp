@@ -1,0 +1,225 @@
+#include "ota/client.hpp"
+
+namespace aseck::ota {
+
+const char* ota_error_name(OtaError e) {
+  switch (e) {
+    case OtaError::kOk: return "ok";
+    case OtaError::kRootSignature: return "root_signature";
+    case OtaError::kRootExpired: return "root_expired";
+    case OtaError::kTimestampSignature: return "timestamp_signature";
+    case OtaError::kTimestampExpired: return "timestamp_expired";
+    case OtaError::kTimestampRollback: return "timestamp_rollback";
+    case OtaError::kSnapshotSignature: return "snapshot_signature";
+    case OtaError::kSnapshotExpired: return "snapshot_expired";
+    case OtaError::kSnapshotHashMismatch: return "snapshot_hash_mismatch";
+    case OtaError::kSnapshotRollback: return "snapshot_rollback";
+    case OtaError::kTargetsSignature: return "targets_signature";
+    case OtaError::kTargetsExpired: return "targets_expired";
+    case OtaError::kTargetsVersionMismatch: return "targets_version_mismatch";
+    case OtaError::kTargetUnknown: return "target_unknown";
+    case OtaError::kReposDisagree: return "repos_disagree";
+    case OtaError::kImageHashMismatch: return "image_hash_mismatch";
+    case OtaError::kImageLengthMismatch: return "image_length_mismatch";
+    case OtaError::kHardwareMismatch: return "hardware_mismatch";
+    case OtaError::kImageRollback: return "image_rollback";
+    case OtaError::kDownloadFailed: return "download_failed";
+  }
+  return "?";
+}
+
+FullVerificationClient::FullVerificationClient(std::string name,
+                                               Signed<RootMeta> director_root,
+                                               Signed<RootMeta> image_root)
+    : name_(std::move(name)) {
+  director_.trusted_root = std::move(director_root);
+  image_.trusted_root = std::move(image_root);
+}
+
+OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
+                                             RepoState& st, SimTime now,
+                                             const TargetsMeta** out_targets) {
+  // 1. Root: if newer than the pinned root, it must verify against the
+  //    *pinned* root's key set (chained trust), then against its own.
+  const RootMeta& trusted = st.trusted_root.body;
+  const RootMeta& offered = bundle.root.body;
+  const util::Bytes root_payload = offered.serialize();
+  if (offered.version > trusted.version) {
+    if (!verify_threshold(root_payload, bundle.root.signatures,
+                          trusted.roles.at(Role::kRoot), trusted.keys) ||
+        !verify_threshold(root_payload, bundle.root.signatures,
+                          offered.roles.at(Role::kRoot), offered.keys)) {
+      return OtaError::kRootSignature;
+    }
+    st.trusted_root = bundle.root;  // accept rotation
+  } else if (offered.version == trusted.version) {
+    if (!verify_threshold(root_payload, bundle.root.signatures,
+                          trusted.roles.at(Role::kRoot), trusted.keys)) {
+      return OtaError::kRootSignature;
+    }
+  } else {
+    return OtaError::kRootSignature;  // root rollback
+  }
+  const RootMeta& root = st.trusted_root.body;
+  if (now > root.expires) return OtaError::kRootExpired;
+
+  // 2. Timestamp.
+  const auto& ts = bundle.timestamp;
+  if (!verify_threshold(ts.body.serialize(), ts.signatures,
+                        root.roles.at(Role::kTimestamp), root.keys)) {
+    return OtaError::kTimestampSignature;
+  }
+  if (now > ts.body.expires) return OtaError::kTimestampExpired;
+  if (ts.body.version < st.last_timestamp) return OtaError::kTimestampRollback;
+
+  // 3. Snapshot: hash pinned by timestamp.
+  const auto& snap = bundle.snapshot;
+  const util::Bytes snap_payload = snap.body.serialize();
+  if (crypto::sha256_bytes(snap_payload) != ts.body.snapshot_hash ||
+      snap.body.version != ts.body.snapshot_version) {
+    return OtaError::kSnapshotHashMismatch;
+  }
+  if (!verify_threshold(snap_payload, snap.signatures,
+                        root.roles.at(Role::kSnapshot), root.keys)) {
+    return OtaError::kSnapshotSignature;
+  }
+  if (now > snap.body.expires) return OtaError::kSnapshotExpired;
+  if (snap.body.version < st.last_snapshot) return OtaError::kSnapshotRollback;
+
+  // 4. Targets: version pinned by snapshot.
+  const auto& tgt = bundle.targets;
+  if (tgt.body.version != snap.body.targets_version) {
+    return OtaError::kTargetsVersionMismatch;
+  }
+  if (!verify_threshold(tgt.body.serialize(), tgt.signatures,
+                        root.roles.at(Role::kTargets), root.keys)) {
+    return OtaError::kTargetsSignature;
+  }
+  if (now > tgt.body.expires) return OtaError::kTargetsExpired;
+
+  st.last_timestamp = ts.body.version;
+  st.last_snapshot = snap.body.version;
+  st.last_targets = tgt.body.version;
+  if (out_targets) *out_targets = &tgt.body;
+  return OtaError::kOk;
+}
+
+OtaError FullVerificationClient::verify_chain(const MetadataBundle& bundle,
+                                              bool is_director, SimTime now) {
+  return verify_repo(bundle, is_director ? director_ : image_, now, nullptr);
+}
+
+FullVerificationClient::Outcome FullVerificationClient::fetch_and_verify(
+    const MetadataBundle& director, const MetadataBundle& image_repo,
+    const Repository& director_repo, const Repository& image_repo_store,
+    const std::string& image_name, const std::string& hardware_id,
+    std::uint32_t installed_version, SimTime now) {
+  Outcome out;
+  const TargetsMeta* dir_targets = nullptr;
+  const TargetsMeta* img_targets = nullptr;
+  out.error = verify_repo(director, director_, now, &dir_targets);
+  if (out.error != OtaError::kOk) return out;
+  out.error = verify_repo(image_repo, image_, now, &img_targets);
+  if (out.error != OtaError::kOk) return out;
+
+  const auto dit = dir_targets->targets.find(image_name);
+  const auto iit = img_targets->targets.find(image_name);
+  if (dit == dir_targets->targets.end() || iit == img_targets->targets.end()) {
+    out.error = OtaError::kTargetUnknown;
+    return out;
+  }
+  // Director and image repo must agree exactly (anti mix-and-match).
+  if (!(dit->second == iit->second)) {
+    out.error = OtaError::kReposDisagree;
+    return out;
+  }
+  const TargetInfo& info = dit->second;
+  if (info.hardware_id != hardware_id) {
+    out.error = OtaError::kHardwareMismatch;
+    return out;
+  }
+  if (info.version < installed_version) {
+    out.error = OtaError::kImageRollback;
+    return out;
+  }
+  // Download preferentially from the image repo; director may also serve.
+  const util::Bytes* image = image_repo_store.download(image_name);
+  if (!image) image = director_repo.download(image_name);
+  if (!image) {
+    out.error = OtaError::kDownloadFailed;
+    return out;
+  }
+  if (image->size() != info.length) {
+    out.error = OtaError::kImageLengthMismatch;
+    return out;
+  }
+  if (crypto::sha256_bytes(*image) != info.sha256) {
+    out.error = OtaError::kImageHashMismatch;
+    return out;
+  }
+  out.target = info;
+  out.image = *image;
+  out.error = OtaError::kOk;
+  return out;
+}
+
+PartialVerificationClient::Outcome PartialVerificationClient::verify(
+    const Signed<TargetsMeta>& director_targets, const std::string& image_name,
+    const std::string& hardware_id, std::uint32_t installed_version,
+    SimTime now) {
+  Outcome out;
+  // Single pinned key, threshold 1.
+  bool ok = false;
+  const util::Bytes payload = director_targets.body.serialize();
+  for (const Signature& s : director_targets.signatures) {
+    if (crypto::ecdsa_verify(targets_key_, payload, s.sig)) {
+      ok = true;
+      break;
+    }
+  }
+  if (!ok) {
+    out.error = OtaError::kTargetsSignature;
+    return out;
+  }
+  if (now > director_targets.body.expires) {
+    out.error = OtaError::kTargetsExpired;
+    return out;
+  }
+  if (director_targets.body.version < last_targets_) {
+    out.error = OtaError::kTargetsVersionMismatch;
+    return out;
+  }
+  const auto it = director_targets.body.targets.find(image_name);
+  if (it == director_targets.body.targets.end()) {
+    out.error = OtaError::kTargetUnknown;
+    return out;
+  }
+  if (it->second.hardware_id != hardware_id) {
+    out.error = OtaError::kHardwareMismatch;
+    return out;
+  }
+  if (it->second.version < installed_version) {
+    out.error = OtaError::kImageRollback;
+    return out;
+  }
+  last_targets_ = director_targets.body.version;
+  out.target = it->second;
+  return out;
+}
+
+InstallResult install_image(ecu::Flash& flash, const std::string& image_name,
+                            std::uint32_t version, const util::Bytes& image,
+                            const std::function<bool()>& self_test) {
+  if (!flash.stage(ecu::FirmwareImage{image_name, version, image})) {
+    return InstallResult::kStageRejected;
+  }
+  flash.activate();
+  if (self_test && !self_test()) {
+    flash.revert();
+    return InstallResult::kRevertedSelfTest;
+  }
+  flash.commit();
+  return InstallResult::kCommitted;
+}
+
+}  // namespace aseck::ota

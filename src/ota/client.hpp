@@ -1,0 +1,111 @@
+#pragma once
+// Uptane clients. The full-verification client (primary ECU) performs the
+// complete metadata check chain against BOTH repositories; the partial-
+// verification client (resource-constrained secondary ECU) checks only the
+// director targets signature. Experiment E5's compromise matrix shows what
+// each level withstands.
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ecu/flash.hpp"
+#include "ota/repository.hpp"
+
+namespace aseck::ota {
+
+enum class OtaError {
+  kOk,
+  kRootSignature,
+  kRootExpired,
+  kTimestampSignature,
+  kTimestampExpired,
+  kTimestampRollback,
+  kSnapshotSignature,
+  kSnapshotExpired,
+  kSnapshotHashMismatch,
+  kSnapshotRollback,
+  kTargetsSignature,
+  kTargetsExpired,
+  kTargetsVersionMismatch,
+  kTargetUnknown,
+  kReposDisagree,
+  kImageHashMismatch,
+  kImageLengthMismatch,
+  kHardwareMismatch,
+  kImageRollback,
+  kDownloadFailed,
+};
+const char* ota_error_name(OtaError e);
+
+/// Full-verification (primary ECU) client.
+class FullVerificationClient {
+ public:
+  /// Pins the initial trusted roots of both repositories (factory install).
+  FullVerificationClient(std::string name, Signed<RootMeta> director_root,
+                         Signed<RootMeta> image_root);
+
+  /// Verifies metadata from both repositories and checks that they agree on
+  /// `image_name` for `hardware_id`; verifies the downloaded image; returns
+  /// the validated TargetInfo or the first error.
+  struct Outcome {
+    OtaError error = OtaError::kOk;
+    TargetInfo target;
+    util::Bytes image;
+  };
+  Outcome fetch_and_verify(const MetadataBundle& director,
+                           const MetadataBundle& image_repo,
+                           const Repository& director_repo,
+                           const Repository& image_repo_store,
+                           const std::string& image_name,
+                           const std::string& hardware_id,
+                           std::uint32_t installed_version, SimTime now);
+
+  /// Verifies one repository's metadata chain (no cross-check, no image).
+  OtaError verify_chain(const MetadataBundle& bundle, bool is_director,
+                        SimTime now);
+
+ private:
+  struct RepoState {
+    Signed<RootMeta> trusted_root;
+    std::uint32_t last_timestamp = 0;
+    std::uint32_t last_snapshot = 0;
+    std::uint32_t last_targets = 0;
+  };
+  OtaError verify_repo(const MetadataBundle& bundle, RepoState& st, SimTime now,
+                       const TargetsMeta** out_targets);
+
+  std::string name_;
+  RepoState director_;
+  RepoState image_;
+};
+
+/// Partial-verification (secondary ECU) client: pinned director-targets key,
+/// expiry and version checks only.
+class PartialVerificationClient {
+ public:
+  PartialVerificationClient(std::string name, crypto::EcdsaPublicKey targets_key)
+      : name_(std::move(name)), targets_key_(std::move(targets_key)) {}
+
+  struct Outcome {
+    OtaError error = OtaError::kOk;
+    TargetInfo target;
+  };
+  Outcome verify(const Signed<TargetsMeta>& director_targets,
+                 const std::string& image_name, const std::string& hardware_id,
+                 std::uint32_t installed_version, SimTime now);
+
+ private:
+  std::string name_;
+  crypto::EcdsaPublicKey targets_key_;
+  std::uint32_t last_targets_ = 0;
+};
+
+/// Installs a verified image into an ECU's flash (stage + activate + commit
+/// after the self-test callback returns true; reverts otherwise).
+enum class InstallResult { kCommitted, kRevertedSelfTest, kStageRejected };
+InstallResult install_image(ecu::Flash& flash, const std::string& image_name,
+                            std::uint32_t version, const util::Bytes& image,
+                            const std::function<bool()>& self_test);
+
+}  // namespace aseck::ota

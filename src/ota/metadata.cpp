@@ -1,0 +1,121 @@
+#include "ota/metadata.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace aseck::ota {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kRoot: return "root";
+    case Role::kTargets: return "targets";
+    case Role::kSnapshot: return "snapshot";
+    case Role::kTimestamp: return "timestamp";
+  }
+  return "?";
+}
+
+KeyId key_id(const crypto::EcdsaPublicKey& pub) {
+  const crypto::Digest d = crypto::sha256(pub.to_bytes());
+  KeyId out;
+  std::copy(d.begin(), d.begin() + 8, out.begin());
+  return out;
+}
+
+std::string key_id_hex(const KeyId& id) {
+  return util::to_hex(util::BytesView(id.data(), id.size()));
+}
+
+util::Bytes TargetInfo::serialize() const {
+  util::Bytes out = sha256;
+  util::append_be(out, length, 8);
+  util::append_be(out, version, 4);
+  out.insert(out.end(), hardware_id.begin(), hardware_id.end());
+  out.push_back(0);
+  return out;
+}
+
+util::Bytes RootMeta::serialize() const {
+  util::Bytes out;
+  out.push_back('R');
+  util::append_be(out, version, 4);
+  util::append_be(out, expires.ns, 8);
+  for (const auto& [role, rk] : roles) {
+    out.push_back(static_cast<std::uint8_t>(role));
+    util::append_be(out, rk.threshold, 4);
+    for (const auto& kid : rk.key_ids) {
+      out.insert(out.end(), kid.begin(), kid.end());
+    }
+    out.push_back(0xff);
+  }
+  for (const auto& [hex, key] : keys) {
+    const util::Bytes kb = key.to_bytes();
+    out.insert(out.end(), kb.begin(), kb.end());
+  }
+  return out;
+}
+
+util::Bytes TargetsMeta::serialize() const {
+  util::Bytes out;
+  out.push_back('T');
+  util::append_be(out, version, 4);
+  util::append_be(out, expires.ns, 8);
+  for (const auto& [name, info] : targets) {
+    out.insert(out.end(), name.begin(), name.end());
+    out.push_back(0);
+    const util::Bytes ib = info.serialize();
+    out.insert(out.end(), ib.begin(), ib.end());
+  }
+  return out;
+}
+
+util::Bytes SnapshotMeta::serialize() const {
+  util::Bytes out;
+  out.push_back('S');
+  util::append_be(out, version, 4);
+  util::append_be(out, expires.ns, 8);
+  util::append_be(out, targets_version, 4);
+  return out;
+}
+
+util::Bytes TimestampMeta::serialize() const {
+  util::Bytes out;
+  out.push_back('M');
+  util::append_be(out, version, 4);
+  util::append_be(out, expires.ns, 8);
+  util::append_be(out, snapshot_version, 4);
+  out.insert(out.end(), snapshot_hash.begin(), snapshot_hash.end());
+  return out;
+}
+
+Signature sign_payload(const crypto::EcdsaPrivateKey& key,
+                       util::BytesView payload) {
+  Signature s;
+  s.keyid = key_id(key.public_key());
+  s.sig = key.sign(payload);
+  return s;
+}
+
+bool verify_threshold(util::BytesView payload,
+                      const std::vector<Signature>& sigs,
+                      const RootMeta::RoleKeys& authorized,
+                      const std::map<std::string, crypto::EcdsaPublicKey>& keys) {
+  std::set<std::string> counted;  // distinct authorized keyids that verified
+  for (const Signature& s : sigs) {
+    const std::string hex = key_id_hex(s.keyid);
+    if (counted.count(hex)) continue;
+    // Is the key authorized for this role?
+    const bool authorized_key =
+        std::find(authorized.key_ids.begin(), authorized.key_ids.end(),
+                  s.keyid) != authorized.key_ids.end();
+    if (!authorized_key) continue;
+    const auto kit = keys.find(hex);
+    if (kit == keys.end()) continue;
+    if (crypto::ecdsa_verify(kit->second, payload, s.sig)) {
+      counted.insert(hex);
+    }
+  }
+  return counted.size() >= authorized.threshold;
+}
+
+}  // namespace aseck::ota

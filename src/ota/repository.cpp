@@ -1,0 +1,101 @@
+#include "ota/repository.hpp"
+
+namespace aseck::ota {
+
+Repository::Repository(crypto::Drbg& rng, std::string name, SimTime expiry)
+    : name_(std::move(name)), expiry_(expiry) {
+  for (Role r : {Role::kRoot, Role::kTargets, Role::kSnapshot, Role::kTimestamp}) {
+    keys_[r] = std::make_unique<crypto::EcdsaPrivateKey>(
+        crypto::EcdsaPrivateKey::generate(rng));
+  }
+  bundle_.targets.body.version = 0;
+  bundle_.snapshot.body.version = 0;
+  bundle_.timestamp.body.version = 0;
+  rebuild_root(SimTime::zero(), nullptr);
+  publish(SimTime::zero());
+}
+
+void Repository::rebuild_root(SimTime now, const crypto::EcdsaPrivateKey* old_root_key) {
+  RootMeta& root = bundle_.root.body;
+  root.version += (root.roles.empty() ? 0 : 1);
+  if (root.roles.empty()) root.version = 1;
+  // Root is long-lived (rotated rarely); online roles expire fast so a
+  // freeze attack has bounded staleness.
+  root.expires = now + expiry_ * 100;
+  root.roles.clear();
+  root.keys.clear();
+  for (const auto& [role, key] : keys_) {
+    RootMeta::RoleKeys rk;
+    rk.threshold = 1;
+    rk.key_ids.push_back(key_id(key->public_key()));
+    root.roles[role] = rk;
+    root.keys[key_id_hex(rk.key_ids[0])] = key->public_key();
+  }
+  bundle_.root.signatures.clear();
+  const util::Bytes payload = root.serialize();
+  // Cross-sign with the previous root key so clients can chain trust.
+  if (old_root_key) {
+    bundle_.root.signatures.push_back(sign_payload(*old_root_key, payload));
+  }
+  bundle_.root.signatures.push_back(sign_payload(*keys_.at(Role::kRoot), payload));
+}
+
+void Repository::add_target(const std::string& image_name,
+                            const util::Bytes& image, std::uint32_t version,
+                            const std::string& hardware_id) {
+  TargetInfo info;
+  info.sha256 = crypto::sha256_bytes(image);
+  info.length = image.size();
+  info.version = version;
+  info.hardware_id = hardware_id;
+  bundle_.targets.body.targets[image_name] = std::move(info);
+  images_[image_name] = image;
+}
+
+void Repository::remove_target(const std::string& image_name) {
+  bundle_.targets.body.targets.erase(image_name);
+  images_.erase(image_name);
+}
+
+void Repository::publish(SimTime now) {
+  TargetsMeta& targets = bundle_.targets.body;
+  targets.version += 1;
+  targets.expires = now + expiry_;
+  sign_role(bundle_.targets, Role::kTargets);
+
+  SnapshotMeta& snap = bundle_.snapshot.body;
+  snap.version += 1;
+  snap.expires = now + expiry_;
+  snap.targets_version = targets.version;
+  sign_role(bundle_.snapshot, Role::kSnapshot);
+
+  TimestampMeta& ts = bundle_.timestamp.body;
+  ts.version += 1;
+  ts.expires = now + expiry_;
+  ts.snapshot_version = snap.version;
+  ts.snapshot_hash = crypto::sha256_bytes(snap.serialize());
+  sign_role(bundle_.timestamp, Role::kTimestamp);
+}
+
+const util::Bytes* Repository::download(const std::string& image_name) const {
+  const auto it = images_.find(image_name);
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+const crypto::EcdsaPrivateKey& Repository::role_key(Role r) const {
+  return *keys_.at(r);
+}
+
+void Repository::rotate_key(crypto::Drbg& rng, Role r, SimTime now) {
+  // Keep the old root key for cross-signing the new root metadata.
+  std::unique_ptr<crypto::EcdsaPrivateKey> old_root;
+  if (r == Role::kRoot) {
+    old_root = std::move(keys_[Role::kRoot]);
+  }
+  keys_[r] = std::make_unique<crypto::EcdsaPrivateKey>(
+      crypto::EcdsaPrivateKey::generate(rng));
+  rebuild_root(now, old_root.get());
+  publish(now);
+}
+
+}  // namespace aseck::ota

@@ -1,0 +1,78 @@
+#pragma once
+// Uptane repository (used both as the Director and as the Image repo).
+// Holds the four role keys, publishes signed metadata, and stores images.
+// The Director personalizes `targets` per vehicle; the Image repo publishes
+// the full catalogue.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "ota/metadata.hpp"
+
+namespace aseck::ota {
+
+/// Everything a client downloads in one refresh.
+struct MetadataBundle {
+  Signed<RootMeta> root;
+  Signed<TargetsMeta> targets;
+  Signed<SnapshotMeta> snapshot;
+  Signed<TimestampMeta> timestamp;
+};
+
+class Repository {
+ public:
+  /// Creates a repository with fresh role keys. `expiry` applies to all
+  /// roles initially (timestamp typically re-signed frequently).
+  Repository(crypto::Drbg& rng, std::string name, SimTime expiry);
+
+  const std::string& name() const { return name_; }
+
+  /// Adds/updates an image in `targets` and stores its bytes for download.
+  void add_target(const std::string& image_name, const util::Bytes& image,
+                  std::uint32_t version, const std::string& hardware_id);
+  /// Removes an image from targets.
+  void remove_target(const std::string& image_name);
+
+  /// Re-signs all metadata (bumps targets/snapshot/timestamp versions).
+  void publish(SimTime now);
+
+  /// Current signed metadata bundle.
+  const MetadataBundle& metadata() const { return bundle_; }
+  /// Image download; returns nullptr if unknown.
+  const util::Bytes* download(const std::string& image_name) const;
+
+  /// Initial trusted root for provisioning clients.
+  const Signed<RootMeta>& trusted_root() const { return bundle_.root; }
+
+  // --- key compromise / rotation experiments --------------------------------
+  /// Returns the private key of a role (the "compromise" primitive in E5).
+  const crypto::EcdsaPrivateKey& role_key(Role r) const;
+  /// Replaces a role's key, bumping root version (key rotation). Clients
+  /// accept the new root because it is signed with the *old* root key too.
+  void rotate_key(crypto::Drbg& rng, Role r, SimTime now);
+
+  /// Direct mutable access to the bundle for attack construction in tests
+  /// and benches (an attacker who stole role keys forges metadata).
+  MetadataBundle& mutable_bundle() { return bundle_; }
+
+  /// Re-sign helpers exposed for attack scenarios: sign `body` with this
+  /// repository's key for role `r`.
+  template <typename Body>
+  void sign_role(Signed<Body>& s, Role r) const {
+    s.signatures.clear();
+    s.signatures.push_back(sign_payload(*keys_.at(r), s.body.serialize()));
+  }
+
+ private:
+  void rebuild_root(SimTime now, const crypto::EcdsaPrivateKey* old_root_key);
+
+  std::string name_;
+  SimTime expiry_;
+  std::map<Role, std::unique_ptr<crypto::EcdsaPrivateKey>> keys_;
+  std::map<std::string, util::Bytes> images_;
+  MetadataBundle bundle_;
+};
+
+}  // namespace aseck::ota

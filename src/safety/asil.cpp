@@ -1,0 +1,80 @@
+#include "safety/asil.hpp"
+
+namespace aseck::safety {
+
+const char* asil_name(Asil a) {
+  switch (a) {
+    case Asil::kQM: return "QM";
+    case Asil::kA: return "A";
+    case Asil::kB: return "B";
+    case Asil::kC: return "C";
+    case Asil::kD: return "D";
+  }
+  return "?";
+}
+
+Asil determine_asil(Severity s, Exposure e, Controllability c) {
+  // ISO 26262-3: S0, E0, or C0 -> QM. Otherwise the standard's table is
+  // equivalent to: level = S + E + C - 5 (with S in 1..3, E in 1..4,
+  // C in 1..3), mapping 1->QM? No: <=2 -> QM? The canonical closed form:
+  //   index = (S-1) + (E-1) + (C-1);  index 0..2 -> QM grows to D at 6.
+  // Concretely: S3/E4/C3 = D, and each single-step reduction lowers one
+  // ASIL level, bottoming out at QM.
+  if (s == Severity::kS0 || e == Exposure::kE0 || c == Controllability::kC0) {
+    return Asil::kQM;
+  }
+  const int si = static_cast<int>(s);        // 1..3
+  const int ei = static_cast<int>(e);        // 1..4
+  const int ci = static_cast<int>(c);        // 1..3
+  const int level = si + ei + ci - 10 + 4;   // S3+E4+C3 -> 4 (= D)
+  switch (level) {
+    case 4: return Asil::kD;
+    case 3: return Asil::kC;
+    case 2: return Asil::kB;
+    case 1: return Asil::kA;
+    default: return Asil::kQM;
+  }
+}
+
+std::vector<const Hazard*> HazardRegistry::for_function(
+    const std::string& function) const {
+  std::vector<const Hazard*> out;
+  for (const auto& h : hazards_) {
+    if (h.function == function) out.push_back(&h);
+  }
+  return out;
+}
+
+Asil HazardRegistry::function_asil(const std::string& function) const {
+  Asil worst = Asil::kQM;
+  for (const auto& h : hazards_) {
+    if (h.function == function && static_cast<int>(h.asil()) > static_cast<int>(worst)) {
+      worst = h.asil();
+    }
+  }
+  return worst;
+}
+
+std::map<Asil, std::size_t> HazardRegistry::histogram() const {
+  std::map<Asil, std::size_t> out;
+  for (const auto& h : hazards_) ++out[h.asil()];
+  return out;
+}
+
+std::vector<std::pair<std::string, Asil>> attack_criticality(
+    const HazardRegistry& reg, const std::vector<SecuritySafetyLink>& links) {
+  std::vector<std::pair<std::string, Asil>> out;
+  for (const auto& link : links) {
+    Asil a = Asil::kQM;
+    for (const auto& h : reg.all()) {
+      if (h.name == link.hazard_name) {
+        a = h.asil();
+        break;
+      }
+    }
+    out.emplace_back(link.attack, a);
+  }
+  return out;
+}
+
+}  // namespace aseck::safety

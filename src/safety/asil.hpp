@@ -1,0 +1,63 @@
+#pragma once
+// ISO 26262 hazard analysis and risk assessment (paper Section 3).
+// ASIL = f(Severity, Exposure, Controllability) per the standard's table;
+// the hazard registry ties vehicle functions to hazards, and the
+// safety/security interplay maps attack outcomes onto hazards.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aseck::safety {
+
+enum class Severity { kS0, kS1, kS2, kS3 };          // no injury .. fatal
+enum class Exposure { kE0, kE1, kE2, kE3, kE4 };     // incredible .. high
+enum class Controllability { kC0, kC1, kC2, kC3 };   // controllable .. not
+
+enum class Asil { kQM, kA, kB, kC, kD };
+const char* asil_name(Asil a);
+
+/// ISO 26262-3 Table 4 determination.
+Asil determine_asil(Severity s, Exposure e, Controllability c);
+
+struct Hazard {
+  std::string name;         // e.g. "unintended full braking at speed"
+  std::string function;     // e.g. "brake-by-wire"
+  Severity severity;
+  Exposure exposure;
+  Controllability controllability;
+
+  Asil asil() const { return determine_asil(severity, exposure, controllability); }
+};
+
+class HazardRegistry {
+ public:
+  void add(Hazard h) { hazards_.push_back(std::move(h)); }
+  const std::vector<Hazard>& all() const { return hazards_; }
+
+  /// Hazards attached to a vehicle function.
+  std::vector<const Hazard*> for_function(const std::string& function) const;
+  /// Highest ASIL across a function's hazards (QM if none).
+  Asil function_asil(const std::string& function) const;
+  /// Count per ASIL level.
+  std::map<Asil, std::size_t> histogram() const;
+
+ private:
+  std::vector<Hazard> hazards_;
+};
+
+/// A security attack outcome mapped to the hazard it can trigger: the
+/// paper's point that an external hack "reduces functional safety to a
+/// security issue".
+struct SecuritySafetyLink {
+  std::string attack;       // e.g. "CAN injection of brake command"
+  std::string hazard_name;  // must exist in the registry
+};
+
+/// Returns, for each link, the ASIL of the hazard now reachable by a purely
+/// electronic attack (the security-criticality of each attack surface).
+std::vector<std::pair<std::string, Asil>> attack_criticality(
+    const HazardRegistry& reg, const std::vector<SecuritySafetyLink>& links);
+
+}  // namespace aseck::safety

@@ -1,0 +1,68 @@
+#include "safety/fault.hpp"
+
+#include <algorithm>
+
+namespace aseck::safety {
+
+bool FunctionModel::operational(const std::set<std::string>& failed) const {
+  // Redundancy groups: need one healthy member each.
+  std::set<std::string> grouped;
+  for (const auto& group : redundancy_groups) {
+    bool any_alive = false;
+    for (const auto& c : group) {
+      grouped.insert(c);
+      if (!failed.count(c)) {
+        any_alive = true;
+      }
+    }
+    if (!any_alive) return false;
+  }
+  // Simplex components: all must be healthy.
+  for (const auto& c : components) {
+    if (!grouped.count(c) && failed.count(c)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> single_points_of_failure(const FunctionModel& fn) {
+  std::vector<std::string> spf;
+  std::set<std::string> all(fn.components.begin(), fn.components.end());
+  for (const auto& group : fn.redundancy_groups) {
+    all.insert(group.begin(), group.end());
+  }
+  for (const auto& c : all) {
+    if (!fn.operational({c})) spf.push_back(c);
+  }
+  std::sort(spf.begin(), spf.end());
+  return spf;
+}
+
+FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
+                                       double per_component_p,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed) {
+  FaultCampaignResult result;
+  result.trials = trials;
+  util::Rng rng(seed);
+
+  // Collect the component universe.
+  std::set<std::string> universe;
+  for (const auto& fn : fns) {
+    universe.insert(fn.components.begin(), fn.components.end());
+    for (const auto& g : fn.redundancy_groups) universe.insert(g.begin(), g.end());
+  }
+
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    std::set<std::string> failed;
+    for (const auto& c : universe) {
+      if (rng.chance(per_component_p)) failed.insert(c);
+    }
+    if (failed.empty()) continue;
+    for (const auto& fn : fns) {
+      if (!fn.operational(failed)) ++result.function_failures[fn.name];
+    }
+  }
+  return result;
+}
+
+}  // namespace aseck::safety

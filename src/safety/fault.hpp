@@ -1,0 +1,52 @@
+#pragma once
+// Fault tolerance analysis: random fault injection into a component graph
+// and single-point-of-failure (SPF) detection. Functional safety (ISO
+// 26262) requires that no single random hardware fault disables a
+// safety-critical function — the paper's "SPF is unacceptable" requirement.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aseck::safety {
+
+/// A vehicle function realized by components; the function survives as long
+/// as, for every redundancy group, at least one member is healthy.
+/// Components not in any group are simplex (their failure kills the
+/// function).
+struct FunctionModel {
+  std::string name;
+  std::vector<std::string> components;                  // all involved
+  std::vector<std::set<std::string>> redundancy_groups; // each needs >=1 alive
+
+  /// True if the function still operates given the failed set.
+  bool operational(const std::set<std::string>& failed) const;
+};
+
+/// Finds all single points of failure of a function.
+std::vector<std::string> single_points_of_failure(const FunctionModel& fn);
+
+/// Monte-Carlo fault injection over a set of functions.
+struct FaultCampaignResult {
+  std::uint64_t trials = 0;
+  std::map<std::string, std::uint64_t> function_failures;
+  double failure_rate(const std::string& fn) const {
+    const auto it = function_failures.find(fn);
+    return trials == 0 || it == function_failures.end()
+               ? 0.0
+               : static_cast<double>(it->second) / static_cast<double>(trials);
+  }
+};
+
+/// Each trial fails each component independently with `per_component_p` and
+/// evaluates every function.
+FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
+                                       double per_component_p,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed);
+
+}  // namespace aseck::safety

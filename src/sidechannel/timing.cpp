@@ -1,0 +1,62 @@
+#include "sidechannel/timing.hpp"
+
+#include "util/stats.hpp"
+
+namespace aseck::sidechannel {
+
+TimingLeakyVerifier::TimingLeakyVerifier(util::Bytes secret, double per_byte_ns,
+                                         double jitter_ns, bool constant_time,
+                                         std::uint64_t seed)
+    : secret_(std::move(secret)),
+      per_byte_ns_(per_byte_ns),
+      jitter_ns_(jitter_ns),
+      constant_time_(constant_time),
+      rng_(seed) {}
+
+TimingLeakyVerifier::Response TimingLeakyVerifier::try_code(util::BytesView code) {
+  ++attempts_;
+  std::size_t compared = 0;
+  bool equal = code.size() == secret_.size();
+  if (constant_time_) {
+    compared = secret_.size();
+    if (equal) equal = util::ct_equal(code, secret_);
+  } else {
+    // Early-exit comparison: time reveals the matching prefix length.
+    for (std::size_t i = 0; i < std::min(code.size(), secret_.size()); ++i) {
+      ++compared;
+      if (code[i] != secret_[i]) {
+        equal = false;
+        break;
+      }
+    }
+  }
+  const double elapsed = static_cast<double>(compared) * per_byte_ns_ +
+                         rng_.gaussian(0.0, jitter_ns_);
+  return Response{equal, elapsed};
+}
+
+util::Bytes timing_attack(TimingLeakyVerifier& device, std::size_t secret_len,
+                          std::size_t samples) {
+  util::Bytes guess(secret_len, 0);
+  for (std::size_t pos = 0; pos < secret_len; ++pos) {
+    double best_mean = -1e300;
+    std::uint8_t best_byte = 0;
+    for (int v = 0; v < 256; ++v) {
+      guess[pos] = static_cast<std::uint8_t>(v);
+      util::RunningStats lat;
+      for (std::size_t s = 0; s < samples; ++s) {
+        const auto resp = device.try_code(guess);
+        if (resp.accepted) return guess;  // full match found early
+        lat.add(resp.elapsed_ns);
+      }
+      if (lat.mean() > best_mean) {
+        best_mean = lat.mean();
+        best_byte = static_cast<std::uint8_t>(v);
+      }
+    }
+    guess[pos] = best_byte;
+  }
+  return guess;
+}
+
+}  // namespace aseck::sidechannel

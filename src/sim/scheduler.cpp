@@ -1,0 +1,97 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aseck::sim {
+
+EventId Scheduler::schedule_at(SimTime at, EventFn fn) {
+  if (at < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Item{at, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+void Scheduler::cancel(EventId id) {
+  if (!id.valid()) return;
+  cancelled_.push_back(id.seq);
+  ++cancelled_count_;
+}
+
+bool Scheduler::pop_next(Item& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move via const_cast is the standard idiom
+    // here and safe because we pop immediately.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), item.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;
+    }
+    out = std::move(item);
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Item item;
+  if (!pop_next(item)) return false;
+  now_ = item.at;
+  ++executed_;
+  item.fn();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime until) {
+  std::size_t n = 0;
+  Item item;
+  while (!queue_.empty()) {
+    if (queue_.top().at > until) break;
+    if (!pop_next(item)) break;
+    if (item.at > until) {
+      // Rare: popped a live item past the horizon (head was cancelled).
+      queue_.push(std::move(item));
+      break;
+    }
+    now_ = item.at;
+    ++executed_;
+    item.fn();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Scheduler& sched, SimTime period, EventFn fn,
+                           SimTime first_delay)
+    : sched_(sched),
+      period_(period),
+      fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(true)) {
+  if (period.ns == 0) throw std::invalid_argument("PeriodicTask: zero period");
+  arm(first_delay);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() { *alive_ = false; }
+
+void PeriodicTask::arm(SimTime delay) {
+  auto alive = alive_;
+  sched_.schedule_in(delay, [this, alive] {
+    if (!*alive) return;
+    fn_();
+    if (*alive) arm(period_);
+  });
+}
+
+}  // namespace aseck::sim

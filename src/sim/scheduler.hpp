@@ -1,0 +1,100 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// Every network, ECU, and attacker model in the library is driven by one
+// `Scheduler`. Events at equal timestamps execute in insertion order
+// (stable FIFO tie-break), which keeps runs bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace aseck::sim {
+
+using util::SimTime;
+
+using EventFn = std::function<void()>;
+
+/// Handle used to cancel a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, EventFn fn);
+  /// Schedules `fn` to run `delay` after now().
+  EventId schedule_in(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `limit` events executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+  /// Runs events with timestamp <= `until` (clock advances to `until`).
+  std::size_t run_until(SimTime until);
+  /// Executes exactly one event if available. Returns false if queue empty.
+  bool step();
+
+  bool empty() const { return queue_.size() == cancelled_count_; }
+  std::size_t pending() const { return queue_.size() - cancelled_count_; }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at.ns != b.at.ns) return a.at.ns > b.at.ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Item& out);
+
+  SimTime now_ = SimTime::zero();
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insertion not needed; small
+  std::size_t cancelled_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+/// Periodic task helper: reschedules itself every `period` until cancelled
+/// via the returned shared flag.
+class PeriodicTask {
+ public:
+  PeriodicTask(Scheduler& sched, SimTime period, EventFn fn, SimTime first_delay);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return *alive_; }
+
+ private:
+  void arm(SimTime delay);
+  Scheduler& sched_;
+  SimTime period_;
+  EventFn fn_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace aseck::sim

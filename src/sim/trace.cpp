@@ -1,0 +1,32 @@
+#include "sim/trace.hpp"
+
+namespace aseck::sim {
+
+void TraceSink::record(util::SimTime at, std::string component, std::string kind,
+                       std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{at, std::move(component), std::move(kind),
+                                 std::move(detail)});
+}
+
+std::size_t TraceSink::count(std::string_view component, std::string_view kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (!component.empty() && r.component != component) continue;
+    if (!kind.empty() && r.kind != kind) continue;
+    ++n;
+  }
+  return n;
+}
+
+const TraceRecord* TraceSink::find_first(std::string_view component,
+                                         std::string_view kind) const {
+  for (const auto& r : records_) {
+    if (!component.empty() && r.component != component) continue;
+    if (!kind.empty() && r.kind != kind) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace aseck::sim

@@ -1,0 +1,42 @@
+#pragma once
+// Structured event tracing for simulations. Components append records; tests
+// and reports query them. Cheap when disabled.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace aseck::sim {
+
+struct TraceRecord {
+  util::SimTime at;
+  std::string component;  // e.g. "gateway", "can0", "ecu.brake"
+  std::string kind;       // e.g. "tx", "rx", "drop", "alert", "attack"
+  std::string detail;
+};
+
+class TraceSink {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(util::SimTime at, std::string component, std::string kind,
+              std::string detail = {});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records matching component and/or kind (empty = wildcard).
+  std::size_t count(std::string_view component, std::string_view kind = {}) const;
+  /// First matching record, or nullptr.
+  const TraceRecord* find_first(std::string_view component,
+                                std::string_view kind = {}) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace aseck::sim

@@ -1,0 +1,134 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace aseck::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes from_string(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (auto p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (auto p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void xor_inplace(Bytes& a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_inplace: length mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+Bytes xor_bytes(BytesView a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_bytes: length mismatch");
+  }
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  return std::uint64_t{load_le32(p)} | (std::uint64_t{load_le32(p + 4)} << 32);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+void append_be(Bytes& out, std::uint64_t v, std::size_t width) {
+  if (width == 0 || width > 8) {
+    throw std::invalid_argument("append_be: width must be 1..8");
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * (width - 1 - i))));
+  }
+}
+
+}  // namespace aseck::util

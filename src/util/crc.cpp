@@ -1,0 +1,62 @@
+#include "util/crc.hpp"
+
+namespace aseck::util {
+
+namespace {
+
+/// Generic MSB-first CRC over bytes for width <= 32.
+std::uint32_t crc_msb(BytesView data, unsigned width, std::uint32_t poly,
+                      std::uint32_t init, std::uint32_t xorout) {
+  const std::uint32_t topbit = 1u << (width - 1);
+  const std::uint32_t mask = (width == 32) ? 0xffffffffu : ((1u << width) - 1);
+  std::uint32_t crc = init;
+  for (std::uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const std::uint32_t in = (byte >> bit) & 1u;
+      const std::uint32_t top = (crc >> (width - 1)) & 1u;
+      crc = (crc << 1) & mask;
+      if (top ^ in) crc ^= poly;
+    }
+  }
+  (void)topbit;
+  return (crc ^ xorout) & mask;
+}
+
+}  // namespace
+
+std::uint16_t crc15_can(BytesView bits_as_bytes) {
+  return static_cast<std::uint16_t>(crc_msb(bits_as_bytes, 15, 0x4599, 0, 0));
+}
+
+std::uint32_t crc17_canfd(BytesView data) {
+  return crc_msb(data, 17, 0x3685B, 0, 0);
+}
+
+std::uint32_t crc21_canfd(BytesView data) {
+  return crc_msb(data, 21, 0x302899, 0, 0);
+}
+
+std::uint16_t crc11_flexray(BytesView data) {
+  return static_cast<std::uint16_t>(crc_msb(data, 11, 0x385, 0x01A, 0));
+}
+
+std::uint32_t crc24_flexray(BytesView data) {
+  return crc_msb(data, 24, 0x5D6DCB, 0xFEDCBA, 0);
+}
+
+std::uint32_t crc32_ieee(BytesView data) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint8_t crc8_j1850(BytesView data) {
+  return static_cast<std::uint8_t>(crc_msb(data, 8, 0x1D, 0xFF, 0xFF));
+}
+
+}  // namespace aseck::util

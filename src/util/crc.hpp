@@ -1,0 +1,37 @@
+#pragma once
+// CRC implementations used by the in-vehicle network models.
+//
+// CAN 2.0 uses CRC-15 (poly 0x4599); CAN FD uses CRC-17 (0x3685B) for
+// payloads up to 16 bytes and CRC-21 (0x302899) above; FlexRay uses CRC-24
+// on the frame and CRC-11 on the header; Ethernet uses CRC-32 (reflected).
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace aseck::util {
+
+/// CAN 2.0 CRC-15, polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1 (0x4599),
+/// computed MSB-first over a bit stream. `bit_count` bits of `bits` are
+/// consumed most-significant-bit first per byte.
+std::uint16_t crc15_can(BytesView bits_as_bytes);
+
+/// CAN FD CRC-17 (poly 0x3685B) over bytes, MSB-first, init 0.
+std::uint32_t crc17_canfd(BytesView data);
+
+/// CAN FD CRC-21 (poly 0x302899) over bytes, MSB-first, init 0.
+std::uint32_t crc21_canfd(BytesView data);
+
+/// FlexRay header CRC-11 (poly 0x385, init 0x01A).
+std::uint16_t crc11_flexray(BytesView data);
+
+/// FlexRay frame CRC-24 (poly 0x5D6DCB, init 0xFEDCBA).
+std::uint32_t crc24_flexray(BytesView data);
+
+/// IEEE 802.3 CRC-32 (reflected, init/final 0xFFFFFFFF).
+std::uint32_t crc32_ieee(BytesView data);
+
+/// AUTOSAR E2E Profile CRC-8 (SAE J1850, poly 0x1D, init 0xFF, xorout 0xFF).
+std::uint8_t crc8_j1850(BytesView data);
+
+}  // namespace aseck::util

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace aseck::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::write(LogLevel lvl, std::string_view component, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace aseck::util

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logger. Default level is kWarn so tests and benches stay
+// quiet; examples raise it to kInfo for narrative output.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace aseck::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel lvl);
+  static LogLevel level();
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+  static void write(LogLevel lvl, std::string_view component, std::string_view msg);
+};
+
+/// Stream-style log statement builder.
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view component)
+      : lvl_(lvl), component_(component) {}
+  ~LogLine() {
+    if (Log::enabled(lvl_)) Log::write(lvl_, component_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Log::enabled(lvl_)) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace aseck::util
+
+#define ASECK_LOG(level, component) ::aseck::util::LogLine(level, component)
+#define ASECK_INFO(component) ASECK_LOG(::aseck::util::LogLevel::kInfo, component)
+#define ASECK_WARN(component) ASECK_LOG(::aseck::util::LogLevel::kWarn, component)
+#define ASECK_ERROR(component) ASECK_LOG(::aseck::util::LogLevel::kError, component)
+#define ASECK_DEBUG(component) ASECK_LOG(::aseck::util::LogLevel::kDebug, component)

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All simulation randomness flows through `Rng` (xoshiro256**) so that every
+// experiment is reproducible from a single seed. Cryptographic randomness
+// (key generation, nonces) uses the ChaCha20-based `Drbg` in crypto/, which
+// is itself seeded deterministically in tests and benches.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace aseck::util {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic PRNG for simulation.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+  /// Standard normal via Box–Muller (cached spare).
+  double gaussian();
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+  /// Poisson-distributed count (Knuth for small lambda, normal approx large).
+  std::uint64_t poisson(double lambda);
+
+  /// Random byte string of length n.
+  Bytes bytes(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; container must be non-empty.
+  std::size_t index(std::size_t size) { return static_cast<std::size_t>(uniform(size)); }
+
+  /// Derives an independent child stream (for per-component RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace aseck::util

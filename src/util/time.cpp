@@ -1,0 +1,21 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace aseck::util {
+
+std::string SimTime::str() const {
+  char buf[48];
+  if (ns < 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(ns));
+  } else if (ns < 1000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.3fus", us());
+  } else if (ns < 1000000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6fs", seconds());
+  }
+  return buf;
+}
+
+}  // namespace aseck::util

@@ -1,0 +1,45 @@
+#pragma once
+// Simulated-time type. All latencies and schedules in the library are in
+// simulated nanoseconds — a strong type prevents mixing with wall-clock or
+// loop counters.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace aseck::util {
+
+/// Simulated time point / duration in nanoseconds since simulation start.
+/// Intentionally a thin value type: arithmetic is explicit and saturating
+/// semantics are NOT provided — overflow at ~584 years of sim time is out of
+/// scope for vehicle-scale runs.
+struct SimTime {
+  std::uint64_t ns = 0;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime from_ns(std::uint64_t v) { return SimTime{v}; }
+  static constexpr SimTime from_us(std::uint64_t v) { return SimTime{v * 1000ULL}; }
+  static constexpr SimTime from_ms(std::uint64_t v) { return SimTime{v * 1000000ULL}; }
+  static constexpr SimTime from_s(std::uint64_t v) { return SimTime{v * 1000000000ULL}; }
+  static SimTime from_seconds_f(double s) {
+    return SimTime{static_cast<std::uint64_t>(s * 1e9)};
+  }
+
+  constexpr double us() const { return static_cast<double>(ns) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns + o.ns}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns - o.ns}; }
+  constexpr SimTime operator*(std::uint64_t k) const { return SimTime{ns * k}; }
+  SimTime& operator+=(SimTime o) {
+    ns += o.ns;
+    return *this;
+  }
+
+  std::string str() const;
+};
+
+}  // namespace aseck::util

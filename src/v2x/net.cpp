@@ -1,0 +1,266 @@
+#include "v2x/net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aseck::v2x {
+
+V2xMedium::V2xMedium(Scheduler& sched, double range_m, double loss_prob,
+                     std::uint64_t seed)
+    : sched_(sched), range_(range_m), loss_prob_(loss_prob), rng_(seed) {}
+
+void V2xMedium::attach(V2xRadio* radio) { radios_.push_back(radio); }
+
+void V2xMedium::detach(V2xRadio* radio) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
+                radios_.end());
+  monitors_.erase(std::remove(monitors_.begin(), monitors_.end(), radio),
+                  monitors_.end());
+}
+
+void V2xMedium::attach_monitor(V2xRadio* radio) { monitors_.push_back(radio); }
+
+void V2xMedium::broadcast(V2xRadio* from, Spdu msg) {
+  ++transmitted_;
+  const Position src = from->position();
+  for (V2xRadio* rx : radios_) {
+    if (rx == from) continue;
+    const double dist = rx->position().distance_to(src);
+    if (dist > range_) continue;
+    if (loss_prob_ > 0 && rng_.chance(loss_prob_)) {
+      ++lost_;
+      continue;
+    }
+    ++delivered_;
+    // Propagation (~3.3 ns/m) + channel access jitter (0..2 ms DSRC CCH).
+    const SimTime delay =
+        SimTime::from_ns(static_cast<std::uint64_t>(dist * 3.34)) +
+        SimTime::from_us(rng_.uniform(2000));
+    sched_.schedule_in(delay,
+                       [this, rx, msg] { rx->on_spdu(msg, sched_.now()); });
+  }
+  for (V2xRadio* mon : monitors_) {
+    sched_.schedule_in(SimTime::from_us(1),
+                       [this, mon, msg] { mon->on_spdu(msg, sched_.now()); });
+  }
+}
+
+std::string MisbehaviorDetector::check(const Bsm& bsm, SimTime now) {
+  std::string reason;
+  if (bsm.speed_mps > cfg_.max_speed_mps) {
+    reason = "implausible_speed";
+  } else {
+    const auto it = last_.find(bsm.temp_id);
+    if (it != last_.end() && now > it->second.at) {
+      const double dt = (now - it->second.at).seconds();
+      const double moved = bsm.pos.distance_to(it->second.pos);
+      const double max_move = cfg_.max_speed_mps * dt + cfg_.position_jump_margin_m;
+      if (moved > max_move) reason = "position_jump";
+    }
+  }
+  last_[bsm.temp_id] = LastSeen{bsm.pos, now};
+  if (!reason.empty()) ++flagged_;
+  return reason;
+}
+
+VehicleNode::VehicleNode(Scheduler& sched, V2xMedium& medium, std::string name,
+                         Position start, double vx_mps, double vy_mps,
+                         const TrustStore& trust,
+                         CertificateAuthority::PseudonymBatch pseudonyms,
+                         PseudonymPolicy policy)
+    : V2xRadio(std::move(name)),
+      sched_(sched),
+      medium_(medium),
+      start_(start),
+      vx_(vx_mps),
+      vy_(vy_mps),
+      t0_(sched.now()),
+      trust_(trust),
+      pseudonyms_(std::move(pseudonyms)),
+      policy_(policy) {
+  if (pseudonyms_.certs.empty()) {
+    throw std::invalid_argument("VehicleNode: empty pseudonym pool");
+  }
+  // Temp id derived from the pseudonym cert id (unlinkable across certs).
+  temp_id_ = util::load_be32(pseudonyms_.certs[0].id().data());
+  medium_.attach(this);
+}
+
+Position VehicleNode::position() const {
+  const double t = (sched_.now() - t0_).seconds();
+  return Position{start_.x + vx_ * t, start_.y + vy_ * t};
+}
+
+void VehicleNode::start() {
+  bsm_task_ = std::make_unique<sim::PeriodicTask>(
+      sched_, SimTime::from_ms(100), [this] { send_bsm(); }, SimTime::zero());
+  if (policy_.enabled && pseudonyms_.certs.size() > 1) {
+    rotate_task_ = std::make_unique<sim::PeriodicTask>(
+        sched_, policy_.rotation_period, [this] { rotate_pseudonym(); },
+        policy_.rotation_period);
+  }
+}
+
+void VehicleNode::stop() {
+  bsm_task_.reset();
+  rotate_task_.reset();
+}
+
+void VehicleNode::send_bsm() {
+  Bsm bsm;
+  bsm.temp_id = temp_id_;
+  bsm.pos = position();
+  bsm.speed_mps = std::sqrt(vx_ * vx_ + vy_ * vy_);
+  bsm.heading_rad = std::atan2(vy_, vx_);
+  bsm.generated = sched_.now();
+  const Spdu msg =
+      Spdu::sign(Psid::kBsm, sched_.now(), bsm.serialize(),
+                 pseudonyms_.certs[pseudo_idx_], pseudonyms_.keys[pseudo_idx_]);
+  ++stats_.bsm_sent;
+  medium_.broadcast(this, msg);
+}
+
+void VehicleNode::rotate_pseudonym() {
+  if (pseudo_idx_ + 1 >= pseudonyms_.certs.size()) return;  // pool exhausted
+  ++pseudo_idx_;
+  temp_id_ = util::load_be32(pseudonyms_.certs[pseudo_idx_].id().data());
+}
+
+void VehicleNode::on_spdu(const Spdu& msg, SimTime) {
+  ++stats_.spdu_received;
+  const SimTime now = sched_.now();
+  const Position me = position();
+  std::optional<Bsm> bsm = Bsm::parse(msg.payload);
+  const Position* claimed = nullptr;
+  Position claimed_pos;
+  if (bsm) {
+    claimed_pos = bsm->pos;
+    claimed = &claimed_pos;
+  }
+  const VerifyStatus status =
+      verify_spdu(msg, trust_, now, verify_policy_, &me, claimed);
+  stats_.verify_latency_us.add(kVerifyCostUs);
+  if (status != VerifyStatus::kOk) {
+    ++stats_.rejected[status];
+    return;
+  }
+  ++stats_.verified_ok;
+  if (bsm) {
+    const std::string flag = misbehavior_.check(*bsm, now);
+    if (!flag.empty()) {
+      ++stats_.misbehavior_flags;
+      return;
+    }
+    if (bsm_sink_) bsm_sink_(*bsm, msg, now);
+  }
+}
+
+RsuNode::RsuNode(Scheduler& sched, V2xMedium& medium, std::string name,
+                 Position pos, const TrustStore& trust, Certificate cert,
+                 crypto::EcdsaPrivateKey key)
+    : V2xRadio(std::move(name)),
+      sched_(sched),
+      medium_(medium),
+      pos_(pos),
+      trust_(trust),
+      cert_(std::move(cert)),
+      key_(std::move(key)) {
+  medium_.attach(this);
+}
+
+void RsuNode::on_spdu(const Spdu& msg, SimTime) {
+  ++received_;
+  if (verify_spdu(msg, trust_, sched_.now(), VerifyPolicy{}) ==
+      VerifyStatus::kOk) {
+    ++verified_;
+  }
+}
+
+void RsuNode::broadcast_alert(util::Bytes payload) {
+  const Spdu msg = Spdu::sign(Psid::kRoadsideAlert, sched_.now(),
+                              std::move(payload), cert_, key_);
+  medium_.broadcast(this, msg);
+}
+
+TrackingAdversary::TrackingAdversary(std::string name, Position pos,
+                                     SimTime gap_tolerance, double link_radius_m)
+    : V2xRadio(std::move(name)),
+      pos_(pos),
+      gap_tolerance_(gap_tolerance),
+      link_radius_(link_radius_m) {}
+
+void TrackingAdversary::on_spdu(const Spdu& msg, SimTime) {
+  // The adversary reads plaintext BSMs; it does not need to verify.
+  const auto bsm = Bsm::parse(msg.payload);
+  if (!bsm) return;
+  ++observed_;
+  auto it = tracks_.find(bsm->temp_id);
+  if (it == tracks_.end()) {
+    Track t;
+    t.temp_id = bsm->temp_id;
+    t.first_pos = t.last_pos = bsm->pos;
+    t.last_speed = bsm->speed_mps;
+    t.last_heading = bsm->heading_rad;
+    t.first_seen = t.last_seen = bsm->generated;
+    tracks_[bsm->temp_id] = t;
+  } else {
+    it->second.last_pos = bsm->pos;
+    it->second.last_speed = bsm->speed_mps;
+    it->second.last_heading = bsm->heading_rad;
+    it->second.last_seen = bsm->generated;
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> TrackingAdversary::link_chains() const {
+  // Sort tracks by first appearance.
+  std::vector<const Track*> by_start;
+  by_start.reserve(tracks_.size());
+  for (const auto& [id, t] : tracks_) by_start.push_back(&t);
+  std::sort(by_start.begin(), by_start.end(),
+            [](const Track* a, const Track* b) {
+              return a->first_seen < b->first_seen;
+            });
+
+  std::map<std::uint32_t, std::uint32_t> successor;  // old id -> new id
+  std::map<std::uint32_t, bool> consumed;
+  for (const Track* ended : by_start) {
+    // Find the best candidate appearing right after `ended` vanishes, near
+    // the kinematically predicted position.
+    const Track* best = nullptr;
+    double best_dist = link_radius_;
+    for (const Track* cand : by_start) {
+      if (cand == ended || consumed[cand->temp_id]) continue;
+      if (cand->first_seen < ended->last_seen) continue;
+      if (cand->first_seen - ended->last_seen > gap_tolerance_) continue;
+      const double dt = (cand->first_seen - ended->last_seen).seconds();
+      const Position predicted{
+          ended->last_pos.x + std::cos(ended->last_heading) * ended->last_speed * dt,
+          ended->last_pos.y + std::sin(ended->last_heading) * ended->last_speed * dt};
+      const double dist = predicted.distance_to(cand->first_pos);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = cand;
+      }
+    }
+    if (best) {
+      successor[ended->temp_id] = best->temp_id;
+      consumed[best->temp_id] = true;
+    }
+  }
+
+  // Build chains from roots (ids that are nobody's successor).
+  std::vector<std::vector<std::uint32_t>> chains;
+  for (const Track* t : by_start) {
+    if (consumed[t->temp_id]) continue;
+    std::vector<std::uint32_t> chain{t->temp_id};
+    auto it = successor.find(t->temp_id);
+    while (it != successor.end()) {
+      chain.push_back(it->second);
+      it = successor.find(it->second);
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace aseck::v2x

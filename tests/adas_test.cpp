@@ -1,0 +1,158 @@
+// Tests for the ADAS substrate: sensors, fusion voting, AEB, and the §4.1
+// sensor attacks (LIDAR ghost injection, blinding, acoustic MEMS bias,
+// TPMS spoofing).
+
+#include <gtest/gtest.h>
+
+#include "adas/fusion.hpp"
+#include "adas/sensors.hpp"
+
+namespace aseck::adas {
+namespace {
+
+PerceptionSensor make_sensor(SensorKind kind, std::uint64_t seed) {
+  PerceptionSensor::Config cfg;
+  cfg.kind = kind;
+  cfg.dropout_prob = 0.0;
+  return PerceptionSensor(cfg, seed);
+}
+
+TEST(Sensors, DetectsObjectsInRangeWithNoise) {
+  PerceptionSensor radar = make_sensor(SensorKind::kRadar, 1);
+  const std::vector<TruthObject> truth{{50.0, 0.0, 10.0}, {200.0, 0.0, 5.0}};
+  const auto dets = radar.sense(truth);
+  ASSERT_EQ(dets.size(), 1u);  // 200 m object out of range
+  EXPECT_NEAR(dets[0].range_m, 50.0, 3.0);
+  EXPECT_NEAR(dets[0].rel_speed_mps, 10.0, 1.0);
+}
+
+TEST(Sensors, GhostInjectionAndBlinding) {
+  PerceptionSensor lidar = make_sensor(SensorKind::kLidar, 2);
+  lidar.inject_ghost(Detection{15.0, 0.0, 20.0, 1.0});
+  auto dets = lidar.sense({});
+  ASSERT_EQ(dets.size(), 1u);  // pure ghost
+  EXPECT_DOUBLE_EQ(dets[0].range_m, 15.0);
+  lidar.set_blinded(true);
+  dets = lidar.sense({{30.0, 0.0, 5.0}});
+  ASSERT_EQ(dets.size(), 1u);  // real object suppressed, ghost persists
+  EXPECT_DOUBLE_EQ(dets[0].range_m, 15.0);
+  lidar.inject_ghost(std::nullopt);
+  EXPECT_TRUE(lidar.sense({{30.0, 0.0, 5.0}}).empty());
+}
+
+TEST(Fusion, CorroboratedObjectsActionable) {
+  PerceptionSensor radar = make_sensor(SensorKind::kRadar, 3);
+  PerceptionSensor lidar = make_sensor(SensorKind::kLidar, 4);
+  PerceptionSensor camera = make_sensor(SensorKind::kCamera, 5);
+  SensorFusion fusion;
+  fusion.add_sensor(&radar);
+  fusion.add_sensor(&lidar);
+  fusion.add_sensor(&camera);
+  const auto out = fusion.fuse({{40.0, 0.0, 8.0}});
+  ASSERT_EQ(out.actionable.size(), 1u);
+  EXPECT_EQ(out.actionable[0].corroboration, 3);
+  EXPECT_NEAR(out.actionable[0].range_m, 40.0, 2.0);
+  EXPECT_EQ(out.single_source_rejected, 0u);
+}
+
+TEST(Fusion, SingleSensorGhostOutvoted) {
+  PerceptionSensor radar = make_sensor(SensorKind::kRadar, 6);
+  PerceptionSensor lidar = make_sensor(SensorKind::kLidar, 7);
+  SensorFusion fusion;
+  fusion.add_sensor(&radar);
+  fusion.add_sensor(&lidar);
+  // LIDAR spoofer injects a phantom braking target [7].
+  lidar.inject_ghost(Detection{12.0, 0.0, 25.0, 1.0});
+  const auto out = fusion.fuse({{60.0, 0.0, 3.0}});
+  // The phantom is a track but NOT actionable.
+  ASSERT_EQ(out.actionable.size(), 1u);
+  EXPECT_NEAR(out.actionable[0].range_m, 60.0, 2.0);
+  EXPECT_GE(out.single_source_rejected, 1u);
+}
+
+TEST(Fusion, CoordinatedMultiSensorSpoofDefeatsVoting) {
+  // Residual risk: ghosts injected into BOTH sensors within the gate fuse
+  // into an actionable phantom.
+  PerceptionSensor radar = make_sensor(SensorKind::kRadar, 8);
+  PerceptionSensor lidar = make_sensor(SensorKind::kLidar, 9);
+  SensorFusion fusion;
+  fusion.add_sensor(&radar);
+  fusion.add_sensor(&lidar);
+  radar.inject_ghost(Detection{12.0, 0.0, 25.0, 1.0});
+  lidar.inject_ghost(Detection{13.0, 0.0, 25.0, 1.0});
+  const auto out = fusion.fuse({});
+  ASSERT_EQ(out.actionable.size(), 1u);
+  EXPECT_EQ(out.actionable[0].corroboration, 2);
+}
+
+TEST(Aeb, BrakesOnImminentCollisionOnly) {
+  AebController aeb;
+  // 30 m at 20 m/s closing: TTC 1.5 s < 1.8 -> brake.
+  EXPECT_TRUE(aeb.evaluate({{30.0, 20.0, 2}}).brake);
+  // 60 m at 20 m/s: TTC 3 s -> no brake.
+  EXPECT_FALSE(aeb.evaluate({{60.0, 20.0, 2}}).brake);
+  // Opening range: never brake.
+  EXPECT_FALSE(aeb.evaluate({{30.0, -5.0, 2}}).brake);
+  EXPECT_FALSE(aeb.evaluate({}).brake);
+}
+
+TEST(Aeb, PhantomBrakingPreventedByFusion) {
+  // End-to-end: LIDAR-only ghost at 10 m would trigger AEB if trusted, but
+  // fusion refuses to actionize it.
+  PerceptionSensor radar = make_sensor(SensorKind::kRadar, 10);
+  PerceptionSensor lidar = make_sensor(SensorKind::kLidar, 11);
+  SensorFusion fusion;
+  fusion.add_sensor(&radar);
+  fusion.add_sensor(&lidar);
+  AebController aeb;
+  lidar.inject_ghost(Detection{10.0, 0.0, 30.0, 1.0});
+  const auto out = fusion.fuse({});
+  EXPECT_FALSE(aeb.evaluate(out.actionable).brake);
+  // Unfused (naive single-sensor) consumer would have braked:
+  EXPECT_TRUE(aeb.evaluate({{10.0, 30.0, 1}}).brake);
+}
+
+TEST(Imu, AcousticInjectionDetected) {
+  MemsAccelerometer imu(0.05, 12);
+  WheelSpeedSensor wheel(0.002, 13);
+  ImuPlausibilityMonitor monitor;
+  // Constant 20 m/s cruise, no acceleration; attacker injects 3 m/s^2 bias.
+  double speed = 20.0;
+  bool detected = false;
+  imu.set_acoustic_attack(3.0);
+  for (int i = 0; i < 50 && !detected; ++i) {
+    detected = monitor.feed(imu.sense(0.0), wheel.sense(speed), 0.1);
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(Imu, NoFalseAlarmDuringHonestDriving) {
+  MemsAccelerometer imu(0.05, 14);
+  WheelSpeedSensor wheel(0.002, 15);
+  ImuPlausibilityMonitor monitor;
+  double speed = 15.0;
+  for (int i = 0; i < 300; ++i) {
+    const double accel = (i % 100 < 50) ? 1.0 : -1.0;  // gentle speed waves
+    speed += accel * 0.1;
+    EXPECT_FALSE(monitor.feed(imu.sense(accel), wheel.sense(speed), 0.1)) << i;
+  }
+}
+
+TEST(Tpms, SpoofingUnauthenticated) {
+  TpmsReceiver tpms;
+  EXPECT_DOUBLE_EQ(tpms.sense(), 240.0);
+  // Attacker broadcasts a fake low-pressure alarm (paper ref [11]).
+  tpms.spoof(80.0);
+  EXPECT_DOUBLE_EQ(tpms.sense(), 80.0);  // accepted without authentication
+  tpms.spoof(std::nullopt);
+  EXPECT_DOUBLE_EQ(tpms.sense(), 240.0);
+}
+
+TEST(Sensors, KindNames) {
+  EXPECT_STREQ(sensor_kind_name(SensorKind::kRadar), "radar");
+  EXPECT_STREQ(sensor_kind_name(SensorKind::kLidar), "lidar");
+  EXPECT_STREQ(sensor_kind_name(SensorKind::kCamera), "camera");
+}
+
+}  // namespace
+}  // namespace aseck::adas

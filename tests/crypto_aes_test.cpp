@@ -1,0 +1,268 @@
+// Known-answer and property tests for AES, CMAC, GCM, and the SHE KDF.
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/kdf.hpp"
+#include "util/rng.hpp"
+
+namespace aseck::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_hex;
+
+Block block_from_hex(std::string_view h) {
+  const Bytes b = from_hex(h);
+  Block out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+std::string hex(const Block& b) {
+  return to_hex(util::BytesView(b.data(), b.size()));
+}
+
+TEST(Aes, Fips197Aes128) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Block pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const Block ct = aes.encrypt(pt);
+  EXPECT_EQ(hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f1011121314151617"));
+  const Block pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const Block ct = aes.encrypt(pt);
+  EXPECT_EQ(hex(ct), "dda97ca4864cdfe06eaf70a0ec0d7191");
+  EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Aes aes(from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  const Block pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const Block ct = aes.encrypt(pt);
+  EXPECT_EQ(hex(ct), "8ea2b7ca516745bfeafc49904b496089");
+  EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+TEST(Aes, Sp80038aEcbVector) {
+  const Aes aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block pt = block_from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(hex(aes.encrypt(pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(17)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(0)), std::invalid_argument);
+}
+
+TEST(Aes, EncryptDecryptRoundTripRandom) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (std::size_t ks : {16u, 24u, 32u}) {
+      const Aes aes(rng.bytes(ks));
+      Block pt;
+      const Bytes r = rng.bytes(16);
+      std::copy(r.begin(), r.end(), pt.begin());
+      EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+    }
+  }
+}
+
+TEST(Aes, SboxInverseProperty) {
+  for (int x = 0; x < 256; ++x) {
+    const auto b = static_cast<std::uint8_t>(x);
+    EXPECT_EQ(aes_inv_sbox(aes_sbox(b)), b);
+  }
+  // Spot values from FIPS 197 table.
+  EXPECT_EQ(aes_sbox(0x00), 0x63);
+  EXPECT_EQ(aes_sbox(0x01), 0x7c);
+  EXPECT_EQ(aes_sbox(0x53), 0xed);
+  EXPECT_EQ(aes_sbox(0xff), 0x16);
+}
+
+TEST(Aes, GfMulProperties) {
+  EXPECT_EQ(gf_mul(0x57, 0x83), 0xc1);  // FIPS 197 example
+  EXPECT_EQ(gf_mul(0x57, 0x13), 0xfe);  // FIPS 197 example
+  for (int a = 1; a < 256; a += 7) {
+    EXPECT_EQ(gf_mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(gf_mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(AesCtr, Sp80038aVector) {
+  const Aes aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block iv = block_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  const Bytes ct = aes_ctr(aes, iv, pt);
+  EXPECT_EQ(to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+  // CTR is an involution with the same IV.
+  EXPECT_EQ(aes_ctr(aes, iv, ct), pt);
+}
+
+TEST(AesCtr, NonBlockMultipleLength) {
+  const Aes aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block iv{};
+  util::Rng rng(5);
+  const Bytes pt = rng.bytes(23);
+  const Bytes ct = aes_ctr(aes, iv, pt);
+  EXPECT_EQ(ct.size(), 23u);
+  EXPECT_EQ(aes_ctr(aes, iv, ct), pt);
+}
+
+TEST(AesCbc, RoundTripAndPadding) {
+  const Aes aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block iv = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  util::Rng rng(6);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u}) {
+    const Bytes pt = rng.bytes(len);
+    const Bytes ct = aes_cbc_encrypt(aes, iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), len);  // padding always added
+    EXPECT_EQ(aes_cbc_decrypt(aes, iv, ct), pt);
+  }
+}
+
+TEST(AesCbc, DecryptRejectsCorruption) {
+  const Aes aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block iv{};
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, Bytes{}), std::invalid_argument);
+}
+
+TEST(Cmac, Rfc4493Vectors) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Cmac cmac(key);
+  EXPECT_EQ(hex(cmac.tag(Bytes{})), "bb1d6929e95937287fa37d129b756746");
+  EXPECT_EQ(hex(cmac.tag(from_hex("6bc1bee22e409f96e93d7e117393172a"))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+  EXPECT_EQ(hex(cmac.tag(from_hex(
+                "6bc1bee22e409f96e93d7e117393172a"
+                "ae2d8a571e03ac9c9eb76fac45af8e51"
+                "30c81c46a35ce411"))),
+            "dfa66747de9ae63030ca32611497c827");
+  EXPECT_EQ(hex(cmac.tag(from_hex(
+                "6bc1bee22e409f96e93d7e117393172a"
+                "ae2d8a571e03ac9c9eb76fac45af8e51"
+                "30c81c46a35ce411e5fbc1191a0a52ef"
+                "f69f2445df4f9b17ad2b417be66c3710"))),
+            "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, TruncationAndVerify) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Cmac cmac(key);
+  const Bytes msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const Bytes t4 = cmac.tag_truncated(msg, 4);
+  EXPECT_EQ(to_hex(t4), "070a16b4");
+  EXPECT_TRUE(cmac.verify(msg, t4));
+  Bytes bad = t4;
+  bad[0] ^= 1;
+  EXPECT_FALSE(cmac.verify(msg, bad));
+  EXPECT_FALSE(cmac.verify(msg, Bytes{}));
+  EXPECT_THROW(cmac.tag_truncated(msg, 0), std::invalid_argument);
+  EXPECT_THROW(cmac.tag_truncated(msg, 17), std::invalid_argument);
+}
+
+TEST(Cmac, DifferentKeysDifferentTags) {
+  const Bytes msg = from_hex("00112233");
+  const Block t1 = aes_cmac(from_hex("2b7e151628aed2a6abf7158809cf4f3c"), msg);
+  const Block t2 = aes_cmac(from_hex("2b7e151628aed2a6abf7158809cf4f3d"), msg);
+  EXPECT_NE(hex(t1), hex(t2));
+}
+
+TEST(Gcm, EmptyKnownAnswer) {
+  // McGrew-Viega test case 1: all-zero key/IV, no AAD, no plaintext.
+  const Aes aes(Bytes(16, 0));
+  const Bytes iv(12, 0);
+  const GcmResult r = aes_gcm_encrypt(aes, iv, {}, {});
+  EXPECT_TRUE(r.ciphertext.empty());
+  EXPECT_EQ(to_hex(util::BytesView(r.tag.data(), 16)),
+            "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Gcm, RoundTripWithAad) {
+  util::Rng rng(77);
+  const Aes aes(rng.bytes(16));
+  const Bytes iv = rng.bytes(12);
+  const Bytes aad = rng.bytes(20);
+  const Bytes pt = rng.bytes(100);
+  const GcmResult r = aes_gcm_encrypt(aes, iv, aad, pt);
+  const auto back =
+      aes_gcm_decrypt(aes, iv, aad, r.ciphertext, util::BytesView(r.tag.data(), 16));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST(Gcm, RejectsTamper) {
+  util::Rng rng(78);
+  const Aes aes(rng.bytes(16));
+  const Bytes iv = rng.bytes(12);
+  const Bytes aad = rng.bytes(8);
+  const Bytes pt = rng.bytes(32);
+  const GcmResult r = aes_gcm_encrypt(aes, iv, aad, pt);
+  const util::BytesView tag(r.tag.data(), 16);
+
+  Bytes bad_ct = r.ciphertext;
+  bad_ct[3] ^= 1;
+  EXPECT_FALSE(aes_gcm_decrypt(aes, iv, aad, bad_ct, tag).has_value());
+
+  Bytes bad_aad = aad;
+  bad_aad[0] ^= 1;
+  EXPECT_FALSE(aes_gcm_decrypt(aes, iv, bad_aad, r.ciphertext, tag).has_value());
+
+  Bytes bad_tag(r.tag.begin(), r.tag.end());
+  bad_tag[15] ^= 1;
+  EXPECT_FALSE(aes_gcm_decrypt(aes, iv, aad, r.ciphertext, bad_tag).has_value());
+
+  EXPECT_FALSE(
+      aes_gcm_decrypt(aes, iv, aad, r.ciphertext, Bytes(4)).has_value());
+}
+
+TEST(Gcm, RejectsBadIvLength) {
+  const Aes aes(Bytes(16, 0));
+  EXPECT_THROW(aes_gcm_encrypt(aes, Bytes(11, 0), {}, {}), std::invalid_argument);
+}
+
+TEST(SheKdf, CompressionDeterministicAndSensitive) {
+  Block key = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const Block k1 = she_kdf(key, she_key_update_enc_c());
+  const Block k2 = she_kdf(key, she_key_update_mac_c());
+  EXPECT_NE(hex(k1), hex(k2));
+  EXPECT_EQ(hex(k1), hex(she_kdf(key, she_key_update_enc_c())));
+  key[15] ^= 1;
+  EXPECT_NE(hex(k1), hex(she_kdf(key, she_key_update_enc_c())));
+}
+
+TEST(SheKdf, SpecExampleVectors) {
+  // SHE / AUTOSAR memory-update example: AuthKey = 000102..0f gives
+  // K1 = KDF(K, KEY_UPDATE_ENC_C), K2 = KDF(K, KEY_UPDATE_MAC_C).
+  const Block key = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  EXPECT_EQ(hex(she_kdf(key, she_key_update_enc_c())),
+            "118a46447a770d87828a69c222e2d17e");
+  EXPECT_EQ(hex(she_kdf(key, she_key_update_mac_c())),
+            "2ebb2a3da62dbd64b18ba6493e9fbe22");
+}
+
+TEST(SheKdf, MpCompressRejectsUnalignedWithoutPadding) {
+  EXPECT_THROW(mp_compress(Bytes(17), /*she_padding=*/false),
+               std::invalid_argument);
+  // With padding, any length works and length is authenticated.
+  const Block a = mp_compress(Bytes(17, 0xaa));
+  const Block b = mp_compress(Bytes(18, 0xaa));
+  EXPECT_NE(hex(a), hex(b));
+}
+
+}  // namespace
+}  // namespace aseck::crypto

@@ -1,0 +1,332 @@
+// Tests for the 256-bit integer layer, P-256 curve arithmetic, ECDSA, ECDH.
+
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/p256.hpp"
+#include "crypto/u256.hpp"
+#include "util/rng.hpp"
+
+namespace aseck::crypto {
+namespace {
+
+using util::Bytes;
+
+TEST(U256, HexRoundTrip) {
+  const U256 v = U256::from_hex("deadbeef00112233445566778899aabbccddeeff");
+  EXPECT_EQ(v.to_hex(),
+            "000000000000000000000000deadbeef00112233445566778899aabbccddeeff");
+  EXPECT_EQ(U256::from_hex(v.to_hex()), v);
+  EXPECT_THROW(U256::from_hex(std::string(65, 'f')), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(U256, BytesRoundTrip) {
+  const U256 v = U256::from_u64(0x1122334455667788ULL);
+  const Bytes b = v.to_bytes();
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_EQ(U256::from_bytes(b), v);
+  // Short input left-pads.
+  EXPECT_EQ(U256::from_bytes(Bytes{0x01, 0x02}), U256::from_u64(0x0102));
+}
+
+TEST(U256, CompareAndBits) {
+  const U256 a = U256::from_u64(5), b = U256::from_u64(9);
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(cmp(a, a), 0);
+  EXPECT_EQ(cmp(b, a), 1);
+  EXPECT_TRUE(U256::zero().is_zero());
+  EXPECT_EQ(U256::from_u64(0x100).top_bit(), 8);
+  EXPECT_EQ(U256::zero().top_bit(), -1);
+  EXPECT_TRUE(U256::from_u64(3).is_odd());
+  EXPECT_FALSE(U256::from_u64(4).is_odd());
+}
+
+TEST(U256, AddSubCarry) {
+  U256 max;
+  for (auto& w : max.w) w = 0xffffffffu;
+  U256 r;
+  EXPECT_EQ(add(r, max, U256::one()), 1u);  // wraps with carry
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(sub(r, U256::zero(), U256::one()), 1u);  // borrows
+  EXPECT_EQ(r, max);
+  EXPECT_EQ(add(r, U256::from_u64(7), U256::from_u64(8)), 0u);
+  EXPECT_EQ(r, U256::from_u64(15));
+}
+
+TEST(U256, ShiftOps) {
+  U256 v = U256::from_u64(1);
+  for (int i = 0; i < 255; ++i) EXPECT_EQ(shl1(v), 0u);
+  EXPECT_EQ(v.top_bit(), 255);
+  EXPECT_EQ(shl1(v), 1u);  // shifts out
+  EXPECT_TRUE(v.is_zero());
+  v = U256::from_u64(6);
+  shr1(v);
+  EXPECT_EQ(v, U256::from_u64(3));
+}
+
+TEST(U256, MulAgainstNative) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64() >> 1;
+    const std::uint64_t b = rng.next_u64() >> 1;
+    const U512 p = mul(U256::from_u64(a), U256::from_u64(b));
+    const __uint128_t expect = static_cast<__uint128_t>(a) * b;
+    std::uint64_t lo = (std::uint64_t{p.w[1]} << 32) | p.w[0];
+    std::uint64_t hi = (std::uint64_t{p.w[3]} << 32) | p.w[2];
+    EXPECT_EQ(lo, static_cast<std::uint64_t>(expect));
+    EXPECT_EQ(hi, static_cast<std::uint64_t>(expect >> 64));
+    for (std::size_t j = 4; j < 16; ++j) EXPECT_EQ(p.w[j], 0u);
+  }
+}
+
+TEST(U256, ModGenericMatchesNative) {
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.next_u64();
+    const std::uint64_t m = (rng.next_u64() >> 20) + 1;
+    EXPECT_EQ(mod_generic(U256::from_u64(x), U256::from_u64(m)),
+              U256::from_u64(x % m));
+  }
+  EXPECT_THROW(mod_generic(U256::one(), U256::zero()), std::invalid_argument);
+}
+
+TEST(U256, ModularOpsSmall) {
+  const U256 m = U256::from_u64(97);
+  EXPECT_EQ(add_mod(U256::from_u64(90), U256::from_u64(10), m), U256::from_u64(3));
+  EXPECT_EQ(sub_mod(U256::from_u64(5), U256::from_u64(10), m), U256::from_u64(92));
+  EXPECT_EQ(mul_mod(U256::from_u64(13), U256::from_u64(15), m),
+            U256::from_u64(13 * 15 % 97));
+  EXPECT_EQ(pow_mod(U256::from_u64(2), U256::from_u64(10), m),
+            U256::from_u64(1024 % 97));
+  EXPECT_EQ(pow_mod(U256::from_u64(5), U256::zero(), m), U256::one());
+}
+
+TEST(U256, InverseModPrime) {
+  const U256 m = U256::from_u64(101);
+  for (std::uint64_t a = 1; a < 101; ++a) {
+    const U256 inv = inv_mod_prime(U256::from_u64(a), m);
+    EXPECT_EQ(mul_mod(U256::from_u64(a), inv, m), U256::one()) << a;
+  }
+}
+
+TEST(P256, FastReductionMatchesGeneric) {
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    U512 x;
+    for (auto& w : x.w) w = rng.next_u32();
+    EXPECT_EQ(p256::reduce_p(x), mod_generic(x, p256::P())) << "iter " << i;
+  }
+}
+
+TEST(P256, GeneratorOnCurve) {
+  EXPECT_TRUE(p256::on_curve(p256::generator()));
+}
+
+TEST(P256, DoubleGKnownAnswer) {
+  // 2G for P-256 (public test value).
+  const auto two_g = p256::to_affine(
+      p256::dbl(p256::JacobianPoint::from_affine(p256::generator())));
+  EXPECT_EQ(two_g.x.to_hex(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(two_g.y.to_hex(),
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+  EXPECT_TRUE(p256::on_curve(two_g));
+}
+
+TEST(P256, OrderTimesGIsInfinity) {
+  EXPECT_TRUE(p256::scalar_mult_base(p256::N()).is_infinity());
+}
+
+TEST(P256, NMinusOneGIsMinusG) {
+  U256 nm1;
+  sub(nm1, p256::N(), U256::one());
+  const auto p = p256::to_affine(p256::scalar_mult_base(nm1));
+  EXPECT_EQ(p.x, p256::Gx());
+  U256 neg_y;
+  sub(neg_y, p256::P(), p256::Gy());
+  EXPECT_EQ(p.y, neg_y);
+}
+
+TEST(P256, ScalarMultDistributes) {
+  // (a+b)G == aG + bG for random small scalars.
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const U256 a = U256::from_u64(rng.next_u64());
+    const U256 b = U256::from_u64(rng.next_u64());
+    U256 ab;
+    add(ab, a, b);
+    const auto lhs = p256::to_affine(p256::scalar_mult_base(ab));
+    const auto rhs = p256::to_affine(
+        p256::add(p256::scalar_mult_base(a), p256::scalar_mult_base(b)));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(P256, MixedAddSpecialCases) {
+  const auto g = p256::generator();
+  const auto gj = p256::JacobianPoint::from_affine(g);
+  // P + infinity-affine semantics via add(): inf + G = G.
+  const auto sum = p256::add(p256::JacobianPoint::make_infinity(), gj);
+  EXPECT_EQ(p256::to_affine(sum), g);
+  // G + G via add_mixed must equal dbl(G).
+  const auto via_add = p256::to_affine(p256::add_mixed(gj, g));
+  const auto via_dbl = p256::to_affine(p256::dbl(gj));
+  EXPECT_EQ(via_add, via_dbl);
+  // G + (-G) = infinity.
+  p256::AffinePoint neg_g = g;
+  U256 ny;
+  sub(ny, p256::P(), g.y);
+  neg_g.y = ny;
+  EXPECT_TRUE(p256::add_mixed(gj, neg_g).is_infinity());
+}
+
+TEST(P256, OnCurveRejects) {
+  p256::AffinePoint bogus{U256::from_u64(1), U256::from_u64(1), false};
+  EXPECT_FALSE(p256::on_curve(bogus));
+  EXPECT_FALSE(p256::on_curve(p256::AffinePoint::make_infinity()));
+  p256::AffinePoint big = p256::generator();
+  big.x = p256::P();
+  EXPECT_FALSE(p256::on_curve(big));
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  Drbg rng(2024u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  EXPECT_TRUE(key.public_key().valid());
+  const Bytes msg = util::from_string("basic safety message");
+  const EcdsaSignature sig = key.sign(msg);
+  EXPECT_TRUE(ecdsa_verify(key.public_key(), msg, sig));
+}
+
+TEST(Ecdsa, RejectsWrongMessageAndKey) {
+  Drbg rng(2025u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const auto other = EcdsaPrivateKey::generate(rng);
+  const Bytes msg = util::from_string("hello");
+  const EcdsaSignature sig = key.sign(msg);
+  EXPECT_FALSE(ecdsa_verify(key.public_key(), util::from_string("hellp"), sig));
+  EXPECT_FALSE(ecdsa_verify(other.public_key(), msg, sig));
+  EcdsaSignature bad = sig;
+  bad.r = add_mod(bad.r, U256::one(), p256::N());
+  EXPECT_FALSE(ecdsa_verify(key.public_key(), msg, bad));
+  bad = sig;
+  bad.s = U256::zero();
+  EXPECT_FALSE(ecdsa_verify(key.public_key(), msg, bad));
+}
+
+TEST(Ecdsa, DeterministicSignatures) {
+  Drbg rng(2026u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const Bytes msg = util::from_string("idempotent");
+  EXPECT_EQ(key.sign(msg), key.sign(msg));
+  EXPECT_NE(key.sign(msg).to_bytes(),
+            key.sign(util::from_string("different")).to_bytes());
+}
+
+TEST(Ecdsa, SerializationRoundTrips) {
+  Drbg rng(2027u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const Bytes pub_bytes = key.public_key().to_bytes();
+  EXPECT_EQ(pub_bytes.size(), 65u);
+  const auto pub2 = EcdsaPublicKey::from_bytes(pub_bytes);
+  ASSERT_TRUE(pub2.has_value());
+  EXPECT_EQ(*pub2, key.public_key());
+
+  const EcdsaSignature sig = key.sign(util::from_string("x"));
+  const auto sig2 = EcdsaSignature::from_bytes(sig.to_bytes());
+  ASSERT_TRUE(sig2.has_value());
+  EXPECT_EQ(*sig2, sig);
+
+  EXPECT_FALSE(EcdsaPublicKey::from_bytes(Bytes(64)).has_value());
+  Bytes off_curve = pub_bytes;
+  off_curve[10] ^= 1;
+  EXPECT_FALSE(EcdsaPublicKey::from_bytes(off_curve).has_value());
+  EXPECT_FALSE(EcdsaSignature::from_bytes(Bytes(63)).has_value());
+}
+
+TEST(Ecdsa, FromSecretDeterministic) {
+  const Bytes secret(32, 0x42);
+  const auto k1 = EcdsaPrivateKey::from_secret(secret);
+  const auto k2 = EcdsaPrivateKey::from_secret(secret);
+  EXPECT_EQ(k1.public_key(), k2.public_key());
+  EXPECT_THROW(EcdsaPrivateKey::from_secret(Bytes(32, 0)), std::invalid_argument);
+}
+
+TEST(Ecdh, SharedSecretAgreement) {
+  Drbg rng(2028u);
+  const auto alice = EcdsaPrivateKey::generate(rng);
+  const auto bob = EcdsaPrivateKey::generate(rng);
+  const Bytes info = util::from_string("smart-key session v1");
+  const auto s1 = ecdh_shared(alice, bob.public_key(), info, 32);
+  const auto s2 = ecdh_shared(bob, alice.public_key(), info, 32);
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(s1->size(), 32u);
+
+  const auto eve = EcdsaPrivateKey::generate(rng);
+  const auto s3 = ecdh_shared(eve, bob.public_key(), info, 32);
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_NE(*s1, *s3);
+}
+
+}  // namespace
+}  // namespace aseck::crypto
+
+namespace aseck::crypto {
+namespace {
+
+TEST(P256Ladder, MatchesDoubleAndAdd) {
+  util::Rng rng(2029);
+  for (int i = 0; i < 5; ++i) {
+    U256 k;
+    for (auto& w : k.w) w = rng.next_u32();
+    k = mod_generic(k, p256::N());
+    const auto a = p256::to_affine(p256::scalar_mult(k, p256::generator()));
+    const auto b = p256::to_affine(
+        p256::scalar_mult_ladder(k, p256::generator()));
+    EXPECT_EQ(a, b);
+  }
+  // Edge scalars.
+  EXPECT_TRUE(p256::scalar_mult_ladder(U256::zero(), p256::generator())
+                  .is_infinity());
+  EXPECT_EQ(p256::to_affine(p256::scalar_mult_ladder(U256::one(),
+                                                     p256::generator())),
+            p256::generator());
+}
+
+TEST(P256Ladder, OpCountIndependentOfHammingWeight) {
+  // The §4.2 timing-leakage demonstration: double-and-add's field-op count
+  // tracks HW(k); the ladder's does not (for fixed bit length).
+  const p256::AffinePoint g = p256::generator();
+  // Two same-bit-length scalars with very different Hamming weights.
+  U256 sparse = U256::zero();
+  sparse.w[7] = 0x80000000u;  // bit 255
+  sparse.w[0] = 1;            // HW = 2
+  U256 dense;
+  for (auto& w : dense.w) w = 0xffffffffu;
+  dense = mod_generic(dense, p256::N());  // still ~bit 255, high HW
+  dense.w[7] |= 0x80000000u;
+
+  p256::reset_fieldop_count();
+  (void)p256::scalar_mult(sparse, g);
+  const std::uint64_t da_sparse = p256::fieldop_count();
+  p256::reset_fieldop_count();
+  (void)p256::scalar_mult(dense, g);
+  const std::uint64_t da_dense = p256::fieldop_count();
+  // Double-and-add: dense scalar costs substantially more (extra adds).
+  EXPECT_GT(da_dense, da_sparse + 500);
+
+  p256::reset_fieldop_count();
+  (void)p256::scalar_mult_ladder(sparse, g);
+  const std::uint64_t l_sparse = p256::fieldop_count();
+  p256::reset_fieldop_count();
+  (void)p256::scalar_mult_ladder(dense, g);
+  const std::uint64_t l_dense = p256::fieldop_count();
+  // Ladder: identical op counts for identical bit lengths.
+  EXPECT_EQ(l_sparse, l_dense);
+}
+
+}  // namespace
+}  // namespace aseck::crypto

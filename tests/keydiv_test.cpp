@@ -1,0 +1,83 @@
+// Tests for fleet key diversification.
+
+#include <gtest/gtest.h>
+
+#include "ecu/keydiv.hpp"
+
+namespace aseck::ecu {
+namespace {
+
+using util::Bytes;
+
+crypto::Block master() {
+  crypto::Block m;
+  m.fill(0xF1);
+  return m;
+}
+
+TEST(KeyDiv, DeterministicPerUidAndPurpose) {
+  const Bytes uid_a(15, 0x01), uid_b(15, 0x02);
+  const auto k1 = derive_vehicle_key(master(), uid_a, "secoc");
+  EXPECT_EQ(k1, derive_vehicle_key(master(), uid_a, "secoc"));
+  // Distinct per UID...
+  EXPECT_NE(k1, derive_vehicle_key(master(), uid_b, "secoc"));
+  // ...and per purpose...
+  EXPECT_NE(k1, derive_vehicle_key(master(), uid_a, "ota-auth"));
+  // ...and per fleet master.
+  crypto::Block other = master();
+  other[0] ^= 1;
+  EXPECT_NE(k1, derive_vehicle_key(other, uid_a, "secoc"));
+}
+
+TEST(KeyDiv, NoAmbiguityBetweenUidAndPurposeBoundary) {
+  // uid || purpose concatenation must not collide across a shifted split.
+  // With fixed 15-byte UIDs this cannot happen structurally; verify a
+  // constructed near-collision differs anyway.
+  Bytes uid1(15, 0x41);          // "AAAAAAAAAAAAAAA"
+  Bytes uid2 = uid1;
+  uid2[14] = 0x42;               // ...B
+  const auto k1 = derive_vehicle_key(master(), uid1, "Bx");
+  const auto k2 = derive_vehicle_key(master(), uid2, "x");  // shifted content
+  // Same concatenated bytes except for length; SHE padding includes the
+  // length, but here lengths match — the contents do too except order.
+  // Either way the keys must differ because the byte streams differ... they
+  // are actually identical streams: uid1+"Bx" == uid2+"x"? uid1 ends 'A',
+  // so streams differ at byte 14 ('A' vs 'B'). Assert inequality.
+  EXPECT_NE(k1, k2);
+}
+
+TEST(KeyDiv, ProvisionDiversifiedBootsAndIsolates) {
+  sim::Scheduler sched;
+  Ecu a(sched, "a", 1), b(sched, "b", 2);
+  provision_diversified(a, master(), FirmwareImage{"fw", 1, Bytes(256, 0x11)});
+  provision_diversified(b, master(), FirmwareImage{"fw", 1, Bytes(256, 0x11)});
+  EXPECT_EQ(a.boot(), EcuState::kOperational);
+  EXPECT_EQ(b.boot(), EcuState::kOperational);
+
+  // SecOC keys differ between the two ECUs: a MAC from A fails on B.
+  crypto::Block mac_a, mac_b;
+  ASSERT_EQ(a.she().generate_mac(SheSlot::kKey1, Bytes{0x01}, &mac_a),
+            SheError::kNoError);
+  ASSERT_EQ(b.she().generate_mac(SheSlot::kKey1, Bytes{0x01}, &mac_b),
+            SheError::kNoError);
+  EXPECT_NE(mac_a, mac_b);
+}
+
+TEST(KeyDiv, BackendCanRederiveWithoutDatabase) {
+  // The backend, knowing only fleet master + UID, re-derives the exact key
+  // the vehicle holds (tested via a successful SHE key update).
+  sim::Scheduler sched;
+  Ecu unit(sched, "unit", 7);
+  provision_diversified(unit, master(), FirmwareImage{"fw", 1, Bytes(64, 1)});
+  const crypto::Block backend_master =
+      derive_vehicle_key(master(), unit.she().uid(), "master-ecu");
+  crypto::Block new_key;
+  new_key.fill(0x33);
+  const auto msgs = She::build_update(unit.she().uid(), SheSlot::kKey2,
+                                      SheSlot::kMasterEcuKey, backend_master,
+                                      new_key, 1, SheKeyFlags{});
+  EXPECT_TRUE(unit.she().load_key(msgs).has_value());
+}
+
+}  // namespace
+}  // namespace aseck::ecu

@@ -1,0 +1,129 @@
+// Tests for the Uptane vehicle version manifest path.
+
+#include <gtest/gtest.h>
+
+#include "ota/manifest.hpp"
+
+namespace aseck::ota {
+namespace {
+
+using util::Bytes;
+
+struct Fixture {
+  crypto::Drbg rng{4321u};
+  crypto::EcdsaPrivateKey brake_key{crypto::EcdsaPrivateKey::generate(rng)};
+  crypto::EcdsaPrivateKey engine_key{crypto::EcdsaPrivateKey::generate(rng)};
+  crypto::EcdsaPrivateKey primary_key{crypto::EcdsaPrivateKey::generate(rng)};
+  crypto::EcdsaPrivateKey attacker_key{crypto::EcdsaPrivateKey::generate(rng)};
+  ManifestProcessor processor;
+  Bytes brake_digest = crypto::sha256_bytes(util::from_string("brake-fw-v7"));
+  Bytes engine_digest = crypto::sha256_bytes(util::from_string("engine-fw-v3"));
+
+  Fixture() {
+    processor.register_ecu("BRK001", brake_key.public_key());
+    processor.register_ecu("ENG001", engine_key.public_key());
+    processor.register_primary("VIN123", primary_key.public_key());
+    processor.expect("VIN123", "brake-fw", 7, brake_digest);
+    processor.expect("VIN123", "engine-fw", 3, engine_digest);
+  }
+
+  EcuVersionReport brake_report(std::uint32_t v, const Bytes& digest) {
+    return EcuVersionReport::make("BRK001", "brake-fw", v, digest,
+                                  util::SimTime::from_s(100), brake_key);
+  }
+  EcuVersionReport engine_report(std::uint32_t v, const Bytes& digest) {
+    return EcuVersionReport::make("ENG001", "engine-fw", v, digest,
+                                  util::SimTime::from_s(100), engine_key);
+  }
+};
+
+TEST(Manifest, AllCurrent) {
+  Fixture f;
+  const auto m = VehicleManifest::assemble(
+      "VIN123", {f.brake_report(7, f.brake_digest), f.engine_report(3, f.engine_digest)},
+      f.primary_key);
+  const auto result = f.processor.process(m);
+  EXPECT_TRUE(result.manifest_authentic);
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(result.findings[0].status, ManifestProcessor::ReportStatus::kCurrent);
+  EXPECT_EQ(result.findings[1].status, ManifestProcessor::ReportStatus::kCurrent);
+  EXPECT_EQ(result.alarms(), 0u);
+}
+
+TEST(Manifest, OutdatedEcuDetectedWithoutAlarm) {
+  Fixture f;
+  // Engine has not yet applied v3 (still on v2): a campaign-progress signal,
+  // not an attack.
+  const Bytes old_digest = crypto::sha256_bytes(util::from_string("engine-fw-v2"));
+  const auto m = VehicleManifest::assemble(
+      "VIN123", {f.brake_report(7, f.brake_digest), f.engine_report(2, old_digest)},
+      f.primary_key);
+  const auto result = f.processor.process(m);
+  EXPECT_EQ(result.findings[1].status, ManifestProcessor::ReportStatus::kOutdated);
+  EXPECT_EQ(result.alarms(), 0u);
+}
+
+TEST(Manifest, UnexpectedVersionAlarms) {
+  Fixture f;
+  // Brake claims a version newer than directed (rogue install).
+  const Bytes rogue = crypto::sha256_bytes(util::from_string("brake-fw-v99"));
+  const auto m = VehicleManifest::assemble(
+      "VIN123", {f.brake_report(99, rogue)}, f.primary_key);
+  const auto result = f.processor.process(m);
+  EXPECT_EQ(result.findings[0].status,
+            ManifestProcessor::ReportStatus::kUnexpectedVersion);
+  EXPECT_EQ(result.alarms(), 1u);
+}
+
+TEST(Manifest, DigestMismatchAtExpectedVersionAlarms) {
+  Fixture f;
+  // Right version number, wrong bytes: tampered image pretending to be v7.
+  const Bytes tampered = crypto::sha256_bytes(util::from_string("evil-bytes"));
+  const auto m = VehicleManifest::assemble("VIN123", {f.brake_report(7, tampered)},
+                                           f.primary_key);
+  const auto result = f.processor.process(m);
+  EXPECT_EQ(result.findings[0].status,
+            ManifestProcessor::ReportStatus::kUnexpectedVersion);
+}
+
+TEST(Manifest, ForgedEcuReportDetected) {
+  Fixture f;
+  // A compromised primary fabricates the brake report with its own key.
+  EcuVersionReport forged = EcuVersionReport::make(
+      "BRK001", "brake-fw", 7, f.brake_digest, util::SimTime::from_s(100),
+      f.attacker_key);
+  const auto m = VehicleManifest::assemble("VIN123", {forged}, f.primary_key);
+  const auto result = f.processor.process(m);
+  EXPECT_TRUE(result.manifest_authentic);  // envelope is fine...
+  EXPECT_EQ(result.findings[0].status,
+            ManifestProcessor::ReportStatus::kBadSignature);  // ...report isn't
+  EXPECT_EQ(result.alarms(), 1u);
+}
+
+TEST(Manifest, TamperedReportInsideManifestBreaksEnvelope) {
+  Fixture f;
+  auto m = VehicleManifest::assemble("VIN123", {f.brake_report(7, f.brake_digest)},
+                                     f.primary_key);
+  m.reports[0].installed_version = 6;  // MITM edit after primary signed
+  const auto result = f.processor.process(m);
+  EXPECT_FALSE(result.manifest_authentic);
+  // The edited report's own signature also fails.
+  EXPECT_EQ(result.findings[0].status,
+            ManifestProcessor::ReportStatus::kBadSignature);
+}
+
+TEST(Manifest, UnknownEcuAndUnknownPrimary) {
+  Fixture f;
+  const auto ghost = EcuVersionReport::make("GHOST9", "brake-fw", 7,
+                                            f.brake_digest,
+                                            util::SimTime::from_s(1),
+                                            f.attacker_key);
+  const auto m = VehicleManifest::assemble("VIN999", {ghost}, f.attacker_key);
+  const auto result = f.processor.process(m);
+  EXPECT_FALSE(result.manifest_authentic);  // VIN999 primary not registered
+  EXPECT_EQ(result.findings[0].status,
+            ManifestProcessor::ReportStatus::kUnknownEcu);
+}
+
+}  // namespace
+}  // namespace aseck::ota

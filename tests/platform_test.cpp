@@ -1,0 +1,124 @@
+// Tests for the VehiclePlatform facade: declarative assembly, boot, policy
+// flow, routing, and posture reporting.
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+
+namespace aseck::core {
+namespace {
+
+using util::Bytes;
+
+struct Fixture {
+  sim::Scheduler sched;
+  crypto::Drbg rng{31337u};
+  crypto::EcdsaPrivateKey authority{crypto::EcdsaPrivateKey::generate(rng)};
+
+  SecurityPolicy initial() {
+    SecurityPolicy p;
+    p.version = 1;
+    p.values[keys::kSecocMacBytes] = PolicyValue(std::int64_t{4});
+    return p;
+  }
+};
+
+TEST(Platform, ReferenceSpecBuildsAndBoots) {
+  Fixture f;
+  VehiclePlatform car(f.sched, VehicleSpec::reference(),
+                      f.authority.public_key(), f.initial());
+  EXPECT_EQ(car.boot_all(), 6u);
+  const auto posture = car.posture();
+  EXPECT_EQ(posture.ecus_operational, 6u);
+  EXPECT_EQ(posture.ecus_degraded, 0u);
+  EXPECT_EQ(posture.policy_version, 1u);
+  EXPECT_EQ(posture.quarantined_domains, 0u);
+}
+
+TEST(Platform, AccessorsAndValidation) {
+  Fixture f;
+  VehiclePlatform car(f.sched, VehicleSpec::reference(),
+                      f.authority.public_key(), f.initial());
+  EXPECT_EQ(car.bus("powertrain").name(), "powertrain");
+  EXPECT_EQ(car.ecu("brake").name(), "brake");
+  EXPECT_THROW(car.bus("nope"), std::invalid_argument);
+  EXPECT_THROW(car.ecu("nope"), std::invalid_argument);
+
+  VehicleSpec bad;
+  bad.domains = {{"a", 500000, false}};
+  bad.ecus = {{"x", "missing-domain", 1, 64}};
+  EXPECT_THROW(VehiclePlatform(f.sched, bad, f.authority.public_key(),
+                               f.initial()),
+               std::invalid_argument);
+}
+
+TEST(Platform, RoutedDiagnosticsReachAllDomains) {
+  Fixture f;
+  VehiclePlatform car(f.sched, VehicleSpec::reference(),
+                      f.authority.public_key(), f.initial());
+  car.boot_all();
+  int hits = 0;
+  car.ecu("engine").subscribe(0x7DF, [&](const ivn::CanFrame&, sim::SimTime) {
+    ++hits;
+  });
+  car.ecu("brake").subscribe(0x7DF, [&](const ivn::CanFrame&, sim::SimTime) {
+    ++hits;
+  });
+  car.ecu("bcm").subscribe(0x7DF, [&](const ivn::CanFrame&, sim::SimTime) {
+    ++hits;
+  });
+  car.ecu("tcu").send_frame(0x7DF, Bytes{0x3E});
+  f.sched.run();
+  EXPECT_EQ(hits, 3);  // fanned out across three internal domains
+}
+
+TEST(Platform, SecocChannelTracksPolicy) {
+  Fixture f;
+  VehiclePlatform car(f.sched, VehicleSpec::reference(),
+                      f.authority.public_key(), f.initial());
+  EXPECT_EQ(car.secoc_channel().config().mac_bytes, 4u);
+  SecurityPolicy p2 = f.initial();
+  p2.version = 2;
+  p2.values[keys::kSecocMacBytes] = PolicyValue(std::int64_t{16});
+  ASSERT_EQ(car.policy().apply_update(SignedPolicy::sign(p2, f.authority)),
+            PolicyStore::UpdateResult::kAccepted);
+  EXPECT_EQ(car.secoc_channel().config().mac_bytes, 16u);
+  EXPECT_EQ(car.posture().policy_version, 2u);
+
+  // Channels from the same platform interoperate end-to-end.
+  ivn::FreshnessManager tx, rx;
+  const auto ch = car.secoc_channel();
+  const Bytes pdu = ch.protect(0x10, Bytes{0x01}, tx);
+  EXPECT_EQ(ch.verify(0x10, pdu, rx).status, ivn::SecOcStatus::kOk);
+}
+
+TEST(Platform, PostureReflectsIncidents) {
+  Fixture f;
+  VehiclePlatform car(f.sched, VehicleSpec::reference(),
+                      f.authority.public_key(), f.initial());
+  car.boot_all();
+  // Voltage glitch degrades one ECU; quarantine one domain.
+  car.ecu("bcm").report_voltage(8.0);
+  car.gateway().quarantine("infotainment");
+  const auto p = car.posture();
+  EXPECT_EQ(p.ecus_operational, 5u);
+  EXPECT_EQ(p.ecus_degraded, 1u);
+  EXPECT_EQ(p.quarantined_domains, 1u);
+}
+
+TEST(Platform, PerVehicleKeysDiffer) {
+  // Two vehicles built from the same spec but different seeds must not share
+  // SecOC keys (the E5 anti-fleet-compromise requirement).
+  Fixture f;
+  VehiclePlatform car1(f.sched, VehicleSpec::reference(),
+                       f.authority.public_key(), f.initial(), /*seed=*/1);
+  VehiclePlatform car2(f.sched, VehicleSpec::reference(),
+                       f.authority.public_key(), f.initial(), /*seed=*/2);
+  ivn::FreshnessManager tx, rx;
+  const Bytes pdu = car1.secoc_channel().protect(0x10, Bytes{0x01}, tx);
+  EXPECT_NE(car2.secoc_channel().verify(0x10, pdu, rx).status,
+            ivn::SecOcStatus::kOk);
+}
+
+}  // namespace
+}  // namespace aseck::core

@@ -1,0 +1,206 @@
+// Second property-test batch: LIN framing sweeps, DST40 statistical
+// properties, DRBG output statistics, scheduler determinism, and
+// U256/P-256 algebraic laws.
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/dst40.hpp"
+#include "crypto/p256.hpp"
+#include "ivn/lin.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace aseck {
+namespace {
+
+using util::Bytes;
+
+// ---------------------------------------------------------------- LIN
+
+class LinPidSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinPidSweep, ParityBitsDetectSingleIdBitFlips) {
+  const auto id = static_cast<std::uint8_t>(GetParam());
+  const std::uint8_t pid = ivn::lin_protected_id(id);
+  EXPECT_EQ(pid & 0x3f, id);  // id preserved in low bits
+  // Any single-bit flip of the 6 id bits changes at least one parity bit,
+  // i.e. the resulting byte is never a valid PID for the flipped id with
+  // unchanged parity.
+  for (int bit = 0; bit < 6; ++bit) {
+    const auto flipped = static_cast<std::uint8_t>(id ^ (1 << bit));
+    const std::uint8_t flipped_pid = ivn::lin_protected_id(flipped);
+    EXPECT_NE(flipped_pid & 0xc0, pid & 0xc0)
+        << "id=" << int(id) << " bit=" << bit
+        << ": parity did not change, single-bit id corruption undetectable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIds, LinPidSweep, ::testing::Range(0, 64));
+
+class LinChecksumSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinChecksumSweep, DetectsAllSingleByteCorruptions) {
+  const int len = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(len));
+  const Bytes data = rng.bytes(static_cast<std::size_t>(len));
+  const std::uint8_t pid = ivn::lin_protected_id(0x21);
+  const std::uint8_t cs = ivn::lin_checksum(pid, data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes bad = data;
+    bad[i] = static_cast<std::uint8_t>(bad[i] + 1);  // +1 mod 256 corruption
+    EXPECT_NE(ivn::lin_checksum(pid, bad, true), cs) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LinChecksumSweep, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------- DST40
+
+TEST(Dst40Stats, ResponseBitsBalanced) {
+  // Over random challenges, each response bit should be ~50/50.
+  const crypto::Dst40 t(0x39c1f27a55ULL);
+  util::Rng rng(9);
+  const int n = 4000;
+  int ones[24] = {};
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t r = t.respond(rng.next_u64());
+    for (int b = 0; b < 24; ++b) {
+      if ((r >> b) & 1) ++ones[b];
+    }
+  }
+  for (int b = 0; b < 24; ++b) {
+    EXPECT_NEAR(ones[b], n / 2, n / 8) << "bit " << b;
+  }
+}
+
+TEST(Dst40Stats, ChallengeAvalanche) {
+  // Flipping one challenge bit should flip ~half the response bits on
+  // average (within a loose band; it's a toy cipher).
+  const crypto::Dst40 t(0x5a5a5a5a5aULL);
+  util::Rng rng(10);
+  util::RunningStats flipped;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t c = rng.next_u64() & crypto::Dst40::kChallengeMask;
+    const int bit = static_cast<int>(rng.uniform(40));
+    const std::uint32_t r1 = t.respond(c);
+    const std::uint32_t r2 = t.respond(c ^ (1ULL << bit));
+    flipped.add(util::hamming_weight(r1 ^ r2));
+  }
+  EXPECT_GT(flipped.mean(), 6.0);   // >= 25% of 24 bits
+  EXPECT_LT(flipped.mean(), 18.0);  // <= 75%
+}
+
+// ---------------------------------------------------------------- DRBG
+
+TEST(DrbgStats, ByteHistogramUniform) {
+  crypto::Drbg d(424242u);
+  const Bytes data = d.bytes(256 * 200);
+  int counts[256] = {};
+  for (std::uint8_t b : data) ++counts[b];
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_NEAR(counts[v], 200, 80) << v;  // ~6 sigma band
+  }
+}
+
+TEST(DrbgStats, MonobitAndRuns) {
+  crypto::Drbg d(777777u);
+  const Bytes data = d.bytes(10000);
+  std::int64_t ones = 0;
+  for (std::uint8_t b : data) ones += util::hamming_weight(b);
+  const double total_bits = 80000;
+  EXPECT_NEAR(static_cast<double>(ones) / total_bits, 0.5, 0.01);
+}
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(SchedulerDeterminism, IdenticalRunsProduceIdenticalTraces) {
+  auto run_once = [] {
+    sim::Scheduler sched;
+    util::Rng rng(5);
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 200; ++i) {
+      sched.schedule_at(sim::SimTime::from_ns(rng.uniform(1000000)),
+                        [&trace, i] { trace.push_back(static_cast<std::uint64_t>(i)); });
+    }
+    sched.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------- algebra
+
+TEST(U256Algebra, AddSubRoundTripRandom) {
+  util::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    crypto::U256 a, b;
+    for (auto& w : a.w) w = rng.next_u32();
+    for (auto& w : b.w) w = rng.next_u32();
+    crypto::U256 sum, back;
+    const std::uint32_t carry = crypto::add(sum, a, b);
+    const std::uint32_t borrow = crypto::sub(back, sum, b);
+    EXPECT_EQ(back, a);
+    // carry out of add equals borrow of the inverse subtraction path.
+    crypto::U256 diff;
+    const std::uint32_t borrow2 = crypto::sub(diff, a, b);
+    crypto::U256 restored;
+    const std::uint32_t carry2 = crypto::add(restored, diff, b);
+    EXPECT_EQ(restored, a);
+    EXPECT_EQ(borrow2, carry2);
+    (void)carry;
+    (void)borrow;
+  }
+}
+
+TEST(U256Algebra, MulCommutesAndDistributesModP) {
+  using namespace crypto;
+  util::Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    U256 a, b, c;
+    for (auto& w : a.w) w = rng.next_u32();
+    for (auto& w : b.w) w = rng.next_u32();
+    for (auto& w : c.w) w = rng.next_u32();
+    a = mod_generic(a, p256::P());
+    b = mod_generic(b, p256::P());
+    c = mod_generic(c, p256::P());
+    EXPECT_EQ(p256::fmul(a, b), p256::fmul(b, a));
+    // a*(b+c) == a*b + a*c (mod p)
+    EXPECT_EQ(p256::fmul(a, p256::fadd(b, c)),
+              p256::fadd(p256::fmul(a, b), p256::fmul(a, c)));
+  }
+}
+
+TEST(P256Algebra, ScalarMultHomomorphic) {
+  using namespace crypto;
+  // k1*(k2*G) == (k1*k2 mod n)*G for random small-ish scalars.
+  util::Rng rng(13);
+  for (int i = 0; i < 5; ++i) {
+    const U256 k1 = U256::from_u64(rng.next_u64());
+    const U256 k2 = U256::from_u64(rng.next_u64());
+    const auto k2g = p256::to_affine(p256::scalar_mult_base(k2));
+    const auto lhs = p256::to_affine(p256::scalar_mult(k1, k2g));
+    const U256 prod = mul_mod(k1, k2, p256::N());
+    const auto rhs = p256::to_affine(p256::scalar_mult_base(prod));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(P256Algebra, InverseRoundTripRandom) {
+  using namespace crypto;
+  util::Rng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    U256 a;
+    for (auto& w : a.w) w = rng.next_u32();
+    a = mod_generic(a, p256::N());
+    if (a.is_zero()) continue;
+    const U256 inv = inv_mod_prime(a, p256::N());
+    EXPECT_EQ(mul_mod(a, inv, p256::N()), U256::one());
+    const U256 finv_a = p256::finv(mod_generic(a, p256::P()));
+    EXPECT_EQ(p256::fmul(mod_generic(a, p256::P()), finv_a), U256::one());
+  }
+}
+
+}  // namespace
+}  // namespace aseck

@@ -1,0 +1,138 @@
+// Tests for ISO 26262 ASIL determination, hazard registry, SPF analysis,
+// fault injection, and attack criticality mapping.
+
+#include <gtest/gtest.h>
+
+#include "safety/asil.hpp"
+#include "safety/fault.hpp"
+
+namespace aseck::safety {
+namespace {
+
+TEST(Asil, Iso26262TableCorners) {
+  // Worst case: severe, high exposure, uncontrollable -> D.
+  EXPECT_EQ(determine_asil(Severity::kS3, Exposure::kE4, Controllability::kC3),
+            Asil::kD);
+  // One step reductions.
+  EXPECT_EQ(determine_asil(Severity::kS3, Exposure::kE4, Controllability::kC2),
+            Asil::kC);
+  EXPECT_EQ(determine_asil(Severity::kS3, Exposure::kE3, Controllability::kC3),
+            Asil::kC);
+  EXPECT_EQ(determine_asil(Severity::kS2, Exposure::kE4, Controllability::kC3),
+            Asil::kC);
+  EXPECT_EQ(determine_asil(Severity::kS3, Exposure::kE2, Controllability::kC3),
+            Asil::kB);
+  EXPECT_EQ(determine_asil(Severity::kS1, Exposure::kE4, Controllability::kC3),
+            Asil::kB);
+  EXPECT_EQ(determine_asil(Severity::kS1, Exposure::kE3, Controllability::kC3),
+            Asil::kA);
+  EXPECT_EQ(determine_asil(Severity::kS2, Exposure::kE2, Controllability::kC3),
+            Asil::kA);
+  // Low combinations bottom out at QM.
+  EXPECT_EQ(determine_asil(Severity::kS1, Exposure::kE1, Controllability::kC1),
+            Asil::kQM);
+  EXPECT_EQ(determine_asil(Severity::kS1, Exposure::kE2, Controllability::kC2),
+            Asil::kQM);
+}
+
+TEST(Asil, ZeroClassesAreQm) {
+  EXPECT_EQ(determine_asil(Severity::kS0, Exposure::kE4, Controllability::kC3),
+            Asil::kQM);
+  EXPECT_EQ(determine_asil(Severity::kS3, Exposure::kE0, Controllability::kC3),
+            Asil::kQM);
+  EXPECT_EQ(determine_asil(Severity::kS3, Exposure::kE4, Controllability::kC0),
+            Asil::kQM);
+}
+
+TEST(Asil, Names) {
+  EXPECT_STREQ(asil_name(Asil::kQM), "QM");
+  EXPECT_STREQ(asil_name(Asil::kD), "D");
+}
+
+HazardRegistry make_registry() {
+  HazardRegistry reg;
+  reg.add(Hazard{"unintended full braking at speed", "brake-by-wire",
+                 Severity::kS3, Exposure::kE4, Controllability::kC3});
+  reg.add(Hazard{"loss of braking assist", "brake-by-wire", Severity::kS2,
+                 Exposure::kE3, Controllability::kC2});
+  reg.add(Hazard{"wrong speed display", "instrument-cluster", Severity::kS1,
+                 Exposure::kE4, Controllability::kC1});
+  reg.add(Hazard{"steering lock engages while driving", "steering",
+                 Severity::kS3, Exposure::kE2, Controllability::kC3});
+  return reg;
+}
+
+TEST(HazardRegistry, FunctionQueries) {
+  const HazardRegistry reg = make_registry();
+  EXPECT_EQ(reg.for_function("brake-by-wire").size(), 2u);
+  EXPECT_EQ(reg.function_asil("brake-by-wire"), Asil::kD);
+  EXPECT_EQ(reg.function_asil("instrument-cluster"), Asil::kQM);
+  EXPECT_EQ(reg.function_asil("nonexistent"), Asil::kQM);
+  const auto hist = reg.histogram();
+  EXPECT_EQ(hist.at(Asil::kD), 1u);
+}
+
+TEST(AttackCriticality, MapsAttacksToAsil) {
+  const HazardRegistry reg = make_registry();
+  const auto crit = attack_criticality(
+      reg, {{"CAN injection of brake command", "unintended full braking at speed"},
+            {"cluster spoofing", "wrong speed display"},
+            {"unknown attack", "no such hazard"}});
+  ASSERT_EQ(crit.size(), 3u);
+  EXPECT_EQ(crit[0].second, Asil::kD);  // a pure-software attack reaches ASIL D
+  EXPECT_EQ(crit[1].second, Asil::kQM);
+  EXPECT_EQ(crit[2].second, Asil::kQM);
+}
+
+FunctionModel braking_function(bool redundant_sensor) {
+  FunctionModel fn;
+  fn.name = "braking";
+  fn.components = {"brake-ecu", "brake-actuator"};
+  if (redundant_sensor) {
+    fn.redundancy_groups = {{"wheel-sensor-a", "wheel-sensor-b"}};
+  } else {
+    fn.components.push_back("wheel-sensor-a");
+  }
+  return fn;
+}
+
+TEST(Spf, IdentifiesSimplexComponents) {
+  const FunctionModel fn = braking_function(false);
+  const auto spf = single_points_of_failure(fn);
+  EXPECT_EQ(spf, (std::vector<std::string>{"brake-actuator", "brake-ecu",
+                                           "wheel-sensor-a"}));
+}
+
+TEST(Spf, RedundancyRemovesSensorSpf) {
+  const FunctionModel fn = braking_function(true);
+  const auto spf = single_points_of_failure(fn);
+  EXPECT_EQ(spf, (std::vector<std::string>{"brake-actuator", "brake-ecu"}));
+  // Both sensors failing still kills the function.
+  EXPECT_FALSE(fn.operational({"wheel-sensor-a", "wheel-sensor-b"}));
+  EXPECT_TRUE(fn.operational({"wheel-sensor-a"}));
+}
+
+TEST(FaultCampaign, RedundancyLowersFailureRate) {
+  const std::vector<FunctionModel> fns{braking_function(false),
+                                       [&] {
+                                         auto f = braking_function(true);
+                                         f.name = "braking-redundant";
+                                         return f;
+                                       }()};
+  const auto r = run_fault_campaign(fns, 0.02, 20000, 77);
+  EXPECT_EQ(r.trials, 20000u);
+  const double simplex = r.failure_rate("braking");
+  const double redundant = r.failure_rate("braking-redundant");
+  EXPECT_GT(simplex, redundant);
+  // Simplex: ~3 * 0.02 = 6%; redundant: ~2 * 0.02 + 0.02^2.
+  EXPECT_NEAR(simplex, 0.059, 0.012);
+  EXPECT_NEAR(redundant, 0.040, 0.010);
+}
+
+TEST(FaultCampaign, ZeroProbabilityNeverFails) {
+  const auto r = run_fault_campaign({braking_function(false)}, 0.0, 1000, 1);
+  EXPECT_EQ(r.failure_rate("braking"), 0.0);
+}
+
+}  // namespace
+}  // namespace aseck::safety

@@ -1,0 +1,124 @@
+// Tests for in-vehicle session-key distribution via SHE.
+
+#include <gtest/gtest.h>
+
+#include "ecu/session_keys.hpp"
+#include "ivn/secoc.hpp"
+
+namespace aseck::ecu {
+namespace {
+
+using util::Bytes;
+
+crypto::Block key_of(std::uint8_t b) {
+  crypto::Block k;
+  k.fill(b);
+  return k;
+}
+
+struct Fixture {
+  She she_a{Bytes(15, 0xA1), 1};
+  She she_b{Bytes(15, 0xB2), 2};
+  SessionKeyMaster master{99};
+  SessionKeyClient client_a{"ecu-a", she_a};
+  SessionKeyClient client_b{"ecu-b", she_b};
+
+  Fixture() {
+    SheKeyFlags enc_flags;                 // enc usage
+    SheKeyFlags mac_flags;
+    mac_flags.key_usage_mac = true;
+    she_a.provision_key(SheSlot::kKey2, key_of(0xA2), enc_flags);
+    she_a.provision_key(SheSlot::kKey3, key_of(0xA3), mac_flags);
+    she_b.provision_key(SheSlot::kKey2, key_of(0xB3), enc_flags);
+    she_b.provision_key(SheSlot::kKey3, key_of(0xB4), mac_flags);
+    master.register_ecu("ecu-a", key_of(0xA2), key_of(0xA3));
+    master.register_ecu("ecu-b", key_of(0xB3), key_of(0xB4));
+  }
+};
+
+TEST(SessionKeys, DistributionInstallsSameKeyEverywhere) {
+  Fixture f;
+  const auto wraps = f.master.rotate();
+  ASSERT_EQ(wraps.size(), 2u);
+  for (const auto& w : wraps) {
+    SessionKeyClient& c = w.ecu_name == "ecu-a" ? f.client_a : f.client_b;
+    EXPECT_EQ(c.install(w), SessionKeyClient::Result::kInstalled);
+  }
+  // Both RAM keys now equal the master's session key: MACs agree.
+  const Bytes msg{0x01, 0x02};
+  crypto::Block mac_a, mac_b;
+  ASSERT_EQ(f.she_a.generate_mac(SheSlot::kRamKey, msg, &mac_a),
+            SheError::kNoError);
+  ASSERT_EQ(f.she_b.generate_mac(SheSlot::kRamKey, msg, &mac_b),
+            SheError::kNoError);
+  EXPECT_EQ(mac_a, mac_b);
+  const crypto::Block expect = crypto::aes_cmac(
+      util::BytesView(f.master.current_key().data(), 16), msg);
+  EXPECT_EQ(mac_a, expect);
+}
+
+TEST(SessionKeys, EpochReplayRejected) {
+  Fixture f;
+  const auto epoch1 = f.master.rotate();
+  const auto epoch2 = f.master.rotate();
+  auto wrap1_a = epoch1[0].ecu_name == "ecu-a" ? epoch1[0] : epoch1[1];
+  auto wrap2_a = epoch2[0].ecu_name == "ecu-a" ? epoch2[0] : epoch2[1];
+  EXPECT_EQ(f.client_a.install(wrap2_a), SessionKeyClient::Result::kInstalled);
+  // Replaying the older epoch must fail.
+  EXPECT_EQ(f.client_a.install(wrap1_a),
+            SessionKeyClient::Result::kReplayedEpoch);
+  EXPECT_EQ(f.client_a.epoch(), 2u);
+}
+
+TEST(SessionKeys, TamperAndMisdirectionRejected) {
+  Fixture f;
+  auto wraps = f.master.rotate();
+  auto& wrap_a = wraps[0].ecu_name == "ecu-a" ? wraps[0] : wraps[1];
+  auto& wrap_b = wraps[0].ecu_name == "ecu-b" ? wraps[0] : wraps[1];
+  // Wrong recipient.
+  EXPECT_EQ(f.client_a.install(wrap_b), SessionKeyClient::Result::kWrongEcu);
+  // Tampered ciphertext.
+  SessionKeyWrap bad = wrap_a;
+  bad.wrapped_key[5] ^= 1;
+  EXPECT_EQ(f.client_a.install(bad), SessionKeyClient::Result::kBadMac);
+  // Tampered epoch (privilege of a fresh number without re-MAC).
+  bad = wrap_a;
+  bad.epoch = 99;
+  EXPECT_EQ(f.client_a.install(bad), SessionKeyClient::Result::kBadMac);
+  // Original still installs.
+  EXPECT_EQ(f.client_a.install(wrap_a), SessionKeyClient::Result::kInstalled);
+}
+
+TEST(SessionKeys, UnprovisionedEcuCannotInstall) {
+  She bare(Bytes(15, 0xCC), 3);
+  SessionKeyClient client("ecu-a", bare);
+  SessionKeyMaster master(7);
+  master.register_ecu("ecu-a", key_of(1), key_of(2));
+  const auto wraps = master.rotate();
+  EXPECT_EQ(client.install(wraps[0]), SessionKeyClient::Result::kBadMac);
+}
+
+TEST(SessionKeys, RotationFeedsSecOcEpochChannel) {
+  // End-to-end: each epoch's session key drives a SecOC channel; after
+  // rotation, PDUs from the old epoch's key no longer verify.
+  Fixture f;
+  auto wraps1 = f.master.rotate();
+  for (const auto& w : wraps1) {
+    (w.ecu_name == "ecu-a" ? f.client_a : f.client_b).install(w);
+  }
+  const Bytes sk1(f.master.current_key().begin(), f.master.current_key().end());
+  ivn::SecOcChannel ch1(sk1);
+  ivn::FreshnessManager tx, rx;
+  const Bytes pdu = ch1.protect(0x10, Bytes{0x42}, tx);
+  EXPECT_EQ(ch1.verify(0x10, pdu, rx).status, ivn::SecOcStatus::kOk);
+
+  auto wraps2 = f.master.rotate();
+  const Bytes sk2(f.master.current_key().begin(), f.master.current_key().end());
+  EXPECT_NE(sk1, sk2);
+  ivn::SecOcChannel ch2(sk2);
+  ivn::FreshnessManager rx2;
+  EXPECT_EQ(ch2.verify(0x10, pdu, rx2).status, ivn::SecOcStatus::kMacMismatch);
+}
+
+}  // namespace
+}  // namespace aseck::ecu

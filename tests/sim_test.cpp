@@ -1,0 +1,166 @@
+// Unit tests for the discrete-event scheduler and trace sink.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace aseck::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_us(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::from_us(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::from_us(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::from_us(30));
+}
+
+TEST(Scheduler, FifoTieBreakAtSameTime) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_at(SimTime::from_us(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  SimTime seen = SimTime::zero();
+  s.schedule_in(SimTime::from_us(10), [&] {
+    s.schedule_in(SimTime::from_us(5), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, SimTime::from_us(15));
+}
+
+TEST(Scheduler, RejectsPast) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_us(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(SimTime::from_us(5), [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_in(SimTime::from_us(1), [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler s;
+  int count = 0;
+  const EventId id = s.schedule_in(SimTime::from_us(1), [&] { ++count; });
+  s.run();
+  s.cancel(id);  // already fired; must not corrupt state
+  s.schedule_in(SimTime::from_us(1), [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(SimTime::from_us(static_cast<std::uint64_t>(i) * 10),
+                  [&] { ++count; });
+  }
+  s.run_until(SimTime::from_us(45));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.now(), SimTime::from_us(45));
+  s.run_until(SimTime::from_us(200));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), SimTime::from_us(200));
+}
+
+TEST(Scheduler, RunWithLimit) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_in(SimTime::from_us(1), [&] { ++count; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(SimTime::from_us(1), recurse);
+  };
+  s.schedule_in(SimTime::from_us(1), recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), SimTime::from_us(5));
+}
+
+TEST(PeriodicTask, FiresAtPeriodUntilStopped) {
+  Scheduler s;
+  int fires = 0;
+  PeriodicTask task(s, SimTime::from_ms(10), [&] { ++fires; }, SimTime::zero());
+  s.run_until(SimTime::from_ms(35));
+  EXPECT_EQ(fires, 4);  // t=0,10,20,30
+  task.stop();
+  s.run_until(SimTime::from_ms(100));
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(PeriodicTask, FirstDelayOffset) {
+  Scheduler s;
+  std::vector<std::uint64_t> at;
+  PeriodicTask task(s, SimTime::from_ms(10), [&] { at.push_back(s.now().ns); },
+                    SimTime::from_ms(3));
+  s.run_until(SimTime::from_ms(25));
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], SimTime::from_ms(3).ns);
+  EXPECT_EQ(at[1], SimTime::from_ms(13).ns);
+  EXPECT_EQ(at[2], SimTime::from_ms(23).ns);
+  EXPECT_THROW(PeriodicTask(s, SimTime::zero(), [] {}, SimTime::zero()),
+               std::invalid_argument);
+}
+
+TEST(PeriodicTask, DestructorStops) {
+  Scheduler s;
+  int fires = 0;
+  {
+    PeriodicTask task(s, SimTime::from_ms(1), [&] { ++fires; }, SimTime::zero());
+    s.run_until(SimTime::from_ms(2));
+  }
+  s.run_until(SimTime::from_ms(50));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(TraceSink, RecordsAndQueries) {
+  TraceSink t;
+  t.record(SimTime::from_us(1), "can0", "tx", "id=0x100");
+  t.record(SimTime::from_us(2), "can0", "rx", "id=0x100");
+  t.record(SimTime::from_us(3), "gateway", "drop", "rule=fw1");
+  EXPECT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.count("can0"), 2u);
+  EXPECT_EQ(t.count("can0", "tx"), 1u);
+  EXPECT_EQ(t.count("", "drop"), 1u);
+  ASSERT_NE(t.find_first("gateway"), nullptr);
+  EXPECT_EQ(t.find_first("gateway")->detail, "rule=fw1");
+  EXPECT_EQ(t.find_first("nosuch"), nullptr);
+}
+
+TEST(TraceSink, DisabledRecordsNothing) {
+  TraceSink t;
+  t.set_enabled(false);
+  t.record(SimTime::zero(), "x", "y");
+  EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
+}  // namespace aseck::sim

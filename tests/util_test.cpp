@@ -1,0 +1,297 @@
+// Unit tests for the util module: bytes, rng, crc, stats, time.
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace aseck::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(b), "0001deadbeefff");
+  EXPECT_EQ(from_hex("0001DEADbeefFF"), b);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2}, b = {3}, c = {};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xff, 0x00, 0x55};
+  const Bytes b = {0x0f, 0xf0, 0x55};
+  xor_inplace(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+  Bytes short_buf = {1};
+  EXPECT_THROW(xor_inplace(short_buf, b), std::invalid_argument);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, EndianLoadsStores) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ULL);
+  store_le64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ULL);
+  store_be32(buf, 0xcafebabe);
+  EXPECT_EQ(load_be32(buf), 0xcafebabe);
+  store_le32(buf, 0xcafebabe);
+  EXPECT_EQ(load_le32(buf), 0xcafebabe);
+}
+
+TEST(Bytes, AppendBe) {
+  Bytes out;
+  append_be(out, 0x1234, 2);
+  EXPECT_EQ(out, (Bytes{0x12, 0x34}));
+  append_be(out, 0xff, 1);
+  EXPECT_EQ(out, (Bytes{0x12, 0x34, 0xff}));
+  EXPECT_THROW(append_be(out, 1, 0), std::invalid_argument);
+  EXPECT_THROW(append_be(out, 1, 9), std::invalid_argument);
+}
+
+TEST(Bytes, HammingHelpers) {
+  EXPECT_EQ(hamming_weight(0), 0);
+  EXPECT_EQ(hamming_weight(0xff), 8);
+  EXPECT_EQ(hamming_distance(0b1010, 0b0101), 4);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform(17), 17u);
+  }
+  EXPECT_THROW(r.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng r(19);
+  RunningStats small, large;
+  for (int i = 0; i < 50000; ++i) small.add(static_cast<double>(r.poisson(3.0)));
+  for (int i = 0; i < 50000; ++i) large.add(static_cast<double>(r.poisson(100.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, BytesLengthAndDeterminism) {
+  Rng a(23), b(23);
+  EXPECT_EQ(a.bytes(17).size(), 17u);
+  EXPECT_EQ(Rng(23).bytes(33), Rng(23).bytes(33));
+  (void)b;
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(Crc, Crc32KnownAnswer) {
+  // "123456789" -> 0xCBF43926 (classic check value).
+  const Bytes msg = from_string("123456789");
+  EXPECT_EQ(crc32_ieee(msg), 0xCBF43926u);
+}
+
+TEST(Crc, Crc8J1850KnownAnswer) {
+  // SAE J1850 check value for "123456789" is 0x4B.
+  EXPECT_EQ(crc8_j1850(from_string("123456789")), 0x4B);
+}
+
+TEST(Crc, Crc15DetectsChange) {
+  const Bytes a = {0x12, 0x34, 0x56};
+  Bytes b = a;
+  b[1] ^= 0x01;
+  EXPECT_NE(crc15_can(a), crc15_can(b));
+  EXPECT_LT(crc15_can(a), 1u << 15);
+}
+
+TEST(Crc, CanFdCrcWidths) {
+  const Bytes msg = from_string("payload data here");
+  EXPECT_LT(crc17_canfd(msg), 1u << 17);
+  EXPECT_LT(crc21_canfd(msg), 1u << 21);
+  EXPECT_NE(crc17_canfd(msg), crc21_canfd(msg));
+}
+
+TEST(Crc, FlexRayCrcWidths) {
+  const Bytes msg = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_LT(crc11_flexray(msg), 1u << 11);
+  EXPECT_LT(crc24_flexray(msg), 1u << 24);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsMerge) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Stats, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+}
+
+TEST(Stats, HistogramBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Stats, Pearson) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  EXPECT_THROW(pearson(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Stats, WelchT) {
+  RunningStats a, b;
+  Rng r(37);
+  for (int i = 0; i < 2000; ++i) {
+    a.add(r.gaussian(0.0, 1.0));
+    b.add(r.gaussian(1.0, 1.0));
+  }
+  EXPECT_GT(std::abs(welch_t(a, b)), 4.5);  // clearly distinguishable
+  RunningStats c, d;
+  for (int i = 0; i < 2000; ++i) {
+    c.add(r.gaussian(0.0, 1.0));
+    d.add(r.gaussian(0.0, 1.0));
+  }
+  EXPECT_LT(std::abs(welch_t(c, d)), 4.5);
+}
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(SimTime::from_us(5).ns, 5000u);
+  EXPECT_EQ(SimTime::from_ms(2).ns, 2000000u);
+  EXPECT_EQ(SimTime::from_s(1).ns, 1000000000u);
+  EXPECT_DOUBLE_EQ(SimTime::from_ms(1500).seconds(), 1.5);
+  const SimTime a = SimTime::from_us(10), b = SimTime::from_us(3);
+  EXPECT_EQ((a + b).ns, 13000u);
+  EXPECT_EQ((a - b).ns, 7000u);
+  EXPECT_EQ((b * 4).ns, 12000u);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTime, Str) {
+  EXPECT_EQ(SimTime::from_ns(12).str(), "12ns");
+  EXPECT_NE(SimTime::from_ms(3).str().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::from_s(2).str().find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aseck::util
