@@ -43,22 +43,30 @@ struct Outcome {
   std::uint64_t malicious_delivered = 0;
   std::uint64_t legit_delivered = 0;
   double chassis_load = 0;
+  std::uint64_t gw_forwarded = 0;   // from the shared metrics registry
+  std::uint64_t gw_drops = 0;       // from the shared metrics registry
+  std::string metrics_json;         // full registry snapshot
 };
 
 Outcome run(Arch arch) {
   sim::Scheduler sched;
+  sim::Telemetry telemetry;  // one registry + trace bus for the whole vehicle
+  telemetry.bus->set_capacity(4096);  // bounded: this run records ~10k events
   Outcome out;
   const bool flat = arch == Arch::kFlatBus;
 
   ivn::CanBus chassis(sched, "chassis", 500000);
+  chassis.bind_telemetry(telemetry);
   std::unique_ptr<ivn::CanBus> infotainment;
   std::unique_ptr<gateway::SecurityGateway> gw;
   ivn::CanBus* attacker_bus = &chassis;
 
   if (!flat) {
     infotainment = std::make_unique<ivn::CanBus>(sched, "infotainment", 500000);
+    infotainment->bind_telemetry(telemetry);
     attacker_bus = infotainment.get();
     gw = std::make_unique<gateway::SecurityGateway>(sched, "cgw");
+    gw->bind_telemetry(telemetry);
     gw->add_domain("chassis", &chassis);
     gw->add_domain("infotainment", infotainment.get());
     // Legit route: media telltale 0x300; the attacker abuses it plus tries
@@ -95,6 +103,7 @@ Outcome run(Arch arch) {
   std::unique_ptr<ids::IdsEnsemble> ensemble;
   if (arch == Arch::kQuarantine && gw) {
     ensemble = std::make_unique<ids::IdsEnsemble>(ids::make_default_ensemble());
+    ensemble->bind_telemetry(telemetry);
     // Train on the legitimate telltale cadence.
     for (int i = 0; i < 100; ++i) {
       ivn::CanFrame f;
@@ -135,6 +144,15 @@ Outcome run(Arch arch) {
   sched.run();
 
   out.chassis_load = chassis.stats().bus_load(sched.now());
+  // Report straight from the shared registry: the same numbers every
+  // component sees, no ad-hoc bookkeeping in the bench.
+  out.gw_forwarded = telemetry.metrics->counter_value("gateway.cgw.forwarded");
+  out.gw_drops =
+      telemetry.metrics->counter_value("gateway.cgw.dropped_no_route") +
+      telemetry.metrics->counter_value("gateway.cgw.dropped_firewall") +
+      telemetry.metrics->counter_value("gateway.cgw.dropped_rate") +
+      telemetry.metrics->counter_value("gateway.cgw.dropped_quarantine");
+  out.metrics_json = telemetry.metrics->to_json();
   return out;
 }
 
@@ -145,15 +163,23 @@ int main() {
   std::printf("(1 kHz brake-command injection for 5 s; legit telltale @10 Hz)\n\n");
 
   benchutil::Table table({"architecture", "malicious_delivered",
-                          "legit_delivered", "chassis_load_%"});
+                          "legit_delivered", "gw_forwarded", "gw_drops",
+                          "chassis_load_%"});
+  std::string last_json;
   for (const Arch a : {Arch::kFlatBus, Arch::kRoutingOnly, Arch::kFirewall,
                        Arch::kRateLimit, Arch::kQuarantine}) {
     const Outcome o = run(a);
     table.add_row({arch_name(a), benchutil::fmt_u(o.malicious_delivered),
                    benchutil::fmt_u(o.legit_delivered),
+                   benchutil::fmt_u(o.gw_forwarded),
+                   benchutil::fmt_u(o.gw_drops),
                    benchutil::fmt("%.1f", o.chassis_load * 100)});
+    last_json = o.metrics_json;
   }
   table.print();
+
+  std::printf("\nMetricsRegistry JSON export (gateway + IDS quarantine run):\n%s\n",
+              last_json.c_str());
 
   // Part B: forwarding latency overhead on legitimate traffic.
   std::printf("\nGateway forwarding latency on legitimate diagnostics:\n\n");

@@ -13,6 +13,7 @@
 #include "core/policy.hpp"
 #include "ecu/ecu.hpp"
 #include "gateway/gateway.hpp"
+#include "sim/telemetry.hpp"
 
 namespace aseck::core {
 
@@ -62,6 +63,15 @@ class VehiclePlatform {
   PolicyStore& policy() { return *policy_store_; }
   const VehicleSpec& spec() const { return spec_; }
 
+  /// The vehicle-wide telemetry plane: every bus and the gateway share this
+  /// trace bus and metrics registry, so cross-layer incidents (spoof on a
+  /// domain bus, drop at the gateway, IDS alert) land on one causally
+  /// ordered timeline. Externally built components (IDS, OTA clients, V2X
+  /// nodes) can join via their own bind_telemetry(telemetry()).
+  const sim::Telemetry& telemetry() const { return telemetry_; }
+  sim::TraceBus& trace_bus() { return *telemetry_.bus; }
+  sim::MetricsRegistry& metrics() { return *telemetry_.metrics; }
+
   /// SecOC channel under the active policy, bound to the vehicle SecOC key.
   ivn::SecOcChannel secoc_channel() const;
 
@@ -78,6 +88,7 @@ class VehiclePlatform {
  private:
   sim::Scheduler& sched_;
   VehicleSpec spec_;
+  sim::Telemetry telemetry_;
   std::map<std::string, std::unique_ptr<ivn::CanBus>> buses_;
   std::unique_ptr<gateway::SecurityGateway> gateway_;
   std::map<std::string, std::unique_ptr<ecu::Ecu>> ecus_;

@@ -41,7 +41,48 @@ class SecurityGateway::Port : public ivn::CanNode {
 
 SecurityGateway::SecurityGateway(Scheduler& sched, std::string name,
                                  SimTime processing_delay)
-    : sched_(sched), name_(std::move(name)), processing_delay_(processing_delay) {}
+    : sched_(sched),
+      name_(std::move(name)),
+      processing_delay_(processing_delay),
+      trace_(name_),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
+  wire_telemetry();
+}
+
+void SecurityGateway::wire_telemetry() {
+  const std::string p = "gateway." + name_ + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_forwarded_, "forwarded");
+  rewire(c_dropped_no_route_, "dropped_no_route");
+  rewire(c_dropped_firewall_, "dropped_firewall");
+  rewire(c_dropped_rate_, "dropped_rate");
+  rewire(c_dropped_quarantine_, "dropped_quarantine");
+  k_forward_ = trace_.kind("forward");
+  k_drop_ = trace_.kind("drop");
+  k_quarantine_ = trace_.kind("quarantine");
+  k_release_ = trace_.kind("release");
+}
+
+void SecurityGateway::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
+}
+
+GatewayStats SecurityGateway::stats() const {
+  GatewayStats s;
+  s.forwarded = c_forwarded_->value();
+  s.dropped_no_route = c_dropped_no_route_->value();
+  s.dropped_firewall = c_dropped_firewall_->value();
+  s.dropped_rate = c_dropped_rate_->value();
+  s.dropped_quarantine = c_dropped_quarantine_->value();
+  return s;
+}
 
 SecurityGateway::~SecurityGateway() {
   for (auto& [dom, d] : domains_) {
@@ -88,7 +129,7 @@ void SecurityGateway::set_domain_rate_limit(const std::string& domain,
 
 void SecurityGateway::quarantine(const std::string& domain, bool on) {
   domains_.at(domain).quarantined = on;
-  trace_.record(sched_.now(), name_, on ? "quarantine" : "release", domain);
+  ASECK_TRACE(trace_, sched_.now(), on ? k_quarantine_ : k_release_, domain);
 }
 
 bool SecurityGateway::quarantined(const std::string& domain) const {
@@ -98,14 +139,14 @@ bool SecurityGateway::quarantined(const std::string& domain) const {
 void SecurityGateway::drop(const std::string& domain, const CanFrame& frame,
                            DropReason r) {
   switch (r) {
-    case DropReason::kNoRoute: ++stats_.dropped_no_route; break;
+    case DropReason::kNoRoute: c_dropped_no_route_->inc(); break;
     case DropReason::kFirewallDeny:
-    case DropReason::kPayloadRule: ++stats_.dropped_firewall; break;
-    case DropReason::kRateLimited: ++stats_.dropped_rate; break;
-    case DropReason::kQuarantined: ++stats_.dropped_quarantine; break;
+    case DropReason::kPayloadRule: c_dropped_firewall_->inc(); break;
+    case DropReason::kRateLimited: c_dropped_rate_->inc(); break;
+    case DropReason::kQuarantined: c_dropped_quarantine_->inc(); break;
   }
-  trace_.record(sched_.now(), name_, "drop",
-                domain + " id=" + std::to_string(frame.id));
+  ASECK_TRACE(trace_, sched_.now(), k_drop_,
+              domain + " id=" + std::to_string(frame.id));
   if (drop_observer_) drop_observer_(domain, frame, r);
 }
 
@@ -163,9 +204,9 @@ void SecurityGateway::on_domain_frame(const std::string& domain,
       drop(domain, frame, DropReason::kFirewallDeny);
       continue;
     }
-    ++stats_.forwarded;
-    trace_.record(sched_.now(), name_, "forward",
-                  domain + "->" + to + " id=" + std::to_string(frame.id));
+    c_forwarded_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_forward_,
+                domain + "->" + to + " id=" + std::to_string(frame.id));
     CanFrame copy = frame;
     CanBus* bus = dst.bus;
     ivn::CanNode* port = dst.port.get();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ivn/can.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
 namespace aseck::gateway {
@@ -57,6 +58,7 @@ struct RateLimit {
   double burst = 10;
 };
 
+/// Statistics snapshot (registry-backed; see SecurityGateway::stats()).
 struct GatewayStats {
   std::uint64_t forwarded = 0;
   std::uint64_t dropped_no_route = 0;
@@ -99,8 +101,12 @@ class SecurityGateway {
   void quarantine(const std::string& domain, bool on = true);
   bool quarantined(const std::string& domain) const;
 
-  const GatewayStats& stats() const { return stats_; }
-  sim::TraceSink& trace() { return trace_; }
+  /// Snapshot materialized from the metrics registry (compat accessor).
+  GatewayStats stats() const;
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
   /// Observer invoked for each drop (used by the IDS/policy layers).
   using DropObserver =
@@ -123,6 +129,7 @@ class SecurityGateway {
   void on_domain_frame(const std::string& domain, const CanFrame& frame,
                        SimTime at);
   void drop(const std::string& domain, const CanFrame& frame, DropReason r);
+  void wire_telemetry();
 
   Scheduler& sched_;
   std::string name_;
@@ -138,8 +145,14 @@ class SecurityGateway {
   std::map<std::uint32_t, std::map<std::string, std::vector<std::string>>> routes_;
   std::vector<FirewallRule> rules_;
   std::map<std::string, std::map<std::uint32_t, Flow>> flows_;
-  GatewayStats stats_;
-  sim::TraceSink trace_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_forwarded_ = nullptr;
+  sim::Counter* c_dropped_no_route_ = nullptr;
+  sim::Counter* c_dropped_firewall_ = nullptr;
+  sim::Counter* c_dropped_rate_ = nullptr;
+  sim::Counter* c_dropped_quarantine_ = nullptr;
+  sim::TraceId k_forward_ = 0, k_drop_ = 0, k_quarantine_ = 0, k_release_ = 0;
   DropObserver drop_observer_;
 };
 

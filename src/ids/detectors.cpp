@@ -108,6 +108,33 @@ double SpecRuleDetector::observe(const CanFrame& frame, SimTime) {
   return 0.0;
 }
 
+IdsEnsemble::IdsEnsemble()
+    : trace_("ids"), metrics_(std::make_shared<sim::MetricsRegistry>()) {
+  wire_telemetry();
+}
+
+void IdsEnsemble::wire_telemetry() {
+  const auto rewire = [this](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(std::string("ids.") + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_observed_, "observed");
+  rewire(c_alerts_, "alerts");
+  rewire(c_tp_, "tp");
+  rewire(c_fp_, "fp");
+  rewire(c_fn_, "fn");
+  rewire(c_tn_, "tn");
+  k_alert_ = trace_.kind("alert");
+}
+
+void IdsEnsemble::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
+}
+
 void IdsEnsemble::train(const CanFrame& frame, SimTime at) {
   for (auto& d : detectors_) d->train(frame, at);
 }
@@ -126,6 +153,12 @@ IdsEnsemble::Verdict IdsEnsemble::observe(const CanFrame& frame, SimTime at) {
     }
   }
   v.alert = v.max_score >= 1.0;
+  c_observed_->inc();
+  if (v.alert) {
+    c_alerts_->inc();
+    ASECK_TRACE(trace_, at, k_alert_,
+                "id=" + std::to_string(frame.id) + " detector=" + v.detector);
+  }
   return v;
 }
 
@@ -134,8 +167,10 @@ IdsEnsemble::Verdict IdsEnsemble::observe_labeled(const CanFrame& frame,
   const Verdict v = observe(frame, at);
   if (is_attack) {
     v.alert ? ++score_.tp : ++score_.fn;
+    v.alert ? c_tp_->inc() : c_fn_->inc();
   } else {
     v.alert ? ++score_.fp : ++score_.tn;
+    v.alert ? c_fp_->inc() : c_tn_->inc();
   }
   return v;
 }

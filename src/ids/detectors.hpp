@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ivn/can.hpp"
+#include "sim/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace aseck::ids {
@@ -144,6 +145,7 @@ struct IdsScore {
 
 class IdsEnsemble {
  public:
+  IdsEnsemble();
   void add(std::unique_ptr<Detector> d) { detectors_.push_back(std::move(d)); }
 
   void train(const CanFrame& frame, SimTime at);
@@ -162,10 +164,25 @@ class IdsEnsemble {
   const IdsScore& score() const { return score_; }
   void reset_score() { score_ = {}; }
   std::size_t detector_count() const { return detectors_.size(); }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
  private:
+  void wire_telemetry();
+
   std::vector<std::unique_ptr<Detector>> detectors_;
   IdsScore score_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_observed_ = nullptr;
+  sim::Counter* c_alerts_ = nullptr;
+  sim::Counter* c_tp_ = nullptr;
+  sim::Counter* c_fp_ = nullptr;
+  sim::Counter* c_fn_ = nullptr;
+  sim::Counter* c_tn_ = nullptr;
+  sim::TraceId k_alert_ = 0;
 };
 
 /// Convenience: ensemble with the three classic detectors at default

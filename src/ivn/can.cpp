@@ -114,8 +114,46 @@ CanBus::CanBus(Scheduler& sched, std::string name, std::uint64_t bitrate_bps,
     : sched_(sched),
       name_(std::move(name)),
       bitrate_(bitrate_bps),
-      data_bitrate_(data_bitrate_bps ? data_bitrate_bps : bitrate_bps) {
+      data_bitrate_(data_bitrate_bps ? data_bitrate_bps : bitrate_bps),
+      trace_(name_),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
   if (bitrate_ == 0) throw std::invalid_argument("CanBus: zero bitrate");
+  wire_telemetry();
+}
+
+void CanBus::wire_telemetry() {
+  const std::string p = "can." + name_ + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());  // carry accumulated value across
+    c = &nc;
+  };
+  rewire(c_frames_ok_, "frames_ok");
+  rewire(c_frames_error_, "frames_error");
+  rewire(c_bits_on_wire_, "bits_on_wire");
+  rewire(c_busy_ns_, "busy_ns");
+  k_tx_ = trace_.kind("tx");
+  k_tx_start_ = trace_.kind("tx_start");
+  k_tx_error_ = trace_.kind("tx_error");
+  k_tx_error_start_ = trace_.kind("tx_error_start");
+  k_bus_off_ = trace_.kind("bus_off");
+  k_recover_ = trace_.kind("recover");
+}
+
+void CanBus::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
+}
+
+CanBusStats CanBus::stats() const {
+  CanBusStats s;
+  s.frames_ok = c_frames_ok_->value();
+  s.frames_error = c_frames_error_->value();
+  s.bits_on_wire = c_bits_on_wire_->value();
+  s.busy_time = SimTime::from_ns(c_busy_ns_->value());
+  return s;
 }
 
 void CanBus::attach(CanNode* node) {
@@ -179,8 +217,8 @@ void CanBus::try_start_tx() {
   const CanFrame frame = winner->tx_queue_.front();
   const SimTime duration = frame_time(frame);
   const bool errored = error_injector_ && error_injector_(frame, *winner);
-  trace_.record(sched_.now(), name_, errored ? "tx_error_start" : "tx_start",
-                winner->name());
+  ASECK_TRACE(trace_, sched_.now(), errored ? k_tx_error_start_ : k_tx_start_,
+              winner->name());
   // An errored frame aborts after the error flag (~ error flag + delimiter +
   // IFS ~= 17 bits); model as a fixed fraction of the frame.
   const SimTime busy_for =
@@ -188,8 +226,8 @@ void CanBus::try_start_tx() {
                     static_cast<double>(frame.wire_bits(nullptr) / 4 + 17) /
                     static_cast<double>(bitrate_))
               : duration;
-  stats_.busy_time += busy_for;
-  stats_.bits_on_wire += frame.wire_bits(nullptr);
+  c_busy_ns_->inc(busy_for.ns);
+  c_bits_on_wire_->inc(frame.wire_bits(nullptr));
   sched_.schedule_in(busy_for, [this, winner, frame, errored] {
     finish_tx(winner, frame, errored);
   });
@@ -198,23 +236,23 @@ void CanBus::try_start_tx() {
 void CanBus::finish_tx(CanNode* node, const CanFrame& frame, bool errored) {
   busy_ = false;
   if (errored) {
-    ++stats_.frames_error;
+    c_frames_error_->inc();
     bump_tx_error(node);
-    trace_.record(sched_.now(), name_, "tx_error", node->name());
+    ASECK_TRACE(trace_, sched_.now(), k_tx_error_, node->name());
     // Frame stays at queue head for retransmission unless the node went
     // bus-off (then the queue is frozen).
     if (node->state_ == CanNodeState::kBusOff) {
       node->tx_queue_.clear();
     }
   } else {
-    ++stats_.frames_ok;
+    c_frames_ok_->inc();
     if (!node->tx_queue_.empty()) node->tx_queue_.pop_front();
     // Successful transmission decrements TEC.
     node->tec_ = std::max(0, node->tec_ - 1);
     if (node->state_ == CanNodeState::kErrorPassive && node->tec_ < 128) {
       node->state_ = CanNodeState::kErrorActive;
     }
-    trace_.record(sched_.now(), name_, "tx", node->name());
+    ASECK_TRACE(trace_, sched_.now(), k_tx_, node->name());
     const SimTime at = sched_.now();
     for (CanNode* rx : nodes_) {
       if (rx != node && rx->state_ != CanNodeState::kBusOff) {
@@ -230,7 +268,7 @@ void CanBus::bump_tx_error(CanNode* node) {
   node->tec_ += 8;  // bit error during transmission
   if (node->tec_ > 255) {
     node->state_ = CanNodeState::kBusOff;
-    trace_.record(sched_.now(), name_, "bus_off", node->name());
+    ASECK_TRACE(trace_, sched_.now(), k_bus_off_, node->name());
     node->on_bus_off(sched_.now());
   } else if (node->tec_ > 127) {
     node->state_ = CanNodeState::kErrorPassive;
@@ -241,7 +279,7 @@ void CanBus::recover(CanNode* node) {
   node->tec_ = 0;
   node->rec_ = 0;
   node->state_ = CanNodeState::kErrorActive;
-  trace_.record(sched_.now(), name_, "recover", node->name());
+  ASECK_TRACE(trace_, sched_.now(), k_recover_, node->name());
 }
 
 }  // namespace aseck::ivn

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 #include "util/bytes.hpp"
 
@@ -88,7 +89,7 @@ class CanNode {
   std::deque<CanFrame> tx_queue_;
 };
 
-/// Per-bus statistics.
+/// Per-bus statistics snapshot (registry-backed; see CanBus::stats()).
 struct CanBusStats {
   std::uint64_t frames_ok = 0;
   std::uint64_t frames_error = 0;
@@ -124,8 +125,13 @@ class CanBus {
   /// Frames pending across all nodes.
   std::size_t pending() const;
 
-  const CanBusStats& stats() const { return stats_; }
-  sim::TraceSink& trace() { return trace_; }
+  /// Snapshot materialized from the metrics registry (compat accessor).
+  CanBusStats stats() const;
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane
+  /// (carrying over already-accumulated counter values).
+  void bind_telemetry(const sim::Telemetry& t);
 
   void set_error_injector(ErrorInjector injector) {
     error_injector_ = std::move(injector);
@@ -142,6 +148,7 @@ class CanBus {
   void try_start_tx();
   void finish_tx(CanNode* node, const CanFrame& frame, bool errored);
   void bump_tx_error(CanNode* node);
+  void wire_telemetry();
 
   Scheduler& sched_;
   std::string name_;
@@ -149,8 +156,14 @@ class CanBus {
   std::uint64_t data_bitrate_;
   std::vector<CanNode*> nodes_;
   bool busy_ = false;
-  CanBusStats stats_;
-  sim::TraceSink trace_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_frames_ok_ = nullptr;
+  sim::Counter* c_frames_error_ = nullptr;
+  sim::Counter* c_bits_on_wire_ = nullptr;
+  sim::Counter* c_busy_ns_ = nullptr;
+  sim::TraceId k_tx_ = 0, k_tx_start_ = 0, k_tx_error_ = 0,
+               k_tx_error_start_ = 0, k_bus_off_ = 0, k_recover_ = 0;
   ErrorInjector error_injector_;
 };
 

@@ -47,8 +47,36 @@ EthernetSwitch::EthernetSwitch(Scheduler& sched, std::string name,
     : sched_(sched),
       name_(std::move(name)),
       link_bps_(link_bps),
-      processing_delay_(processing_delay) {
+      processing_delay_(processing_delay),
+      trace_(name_),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
   if (link_bps_ == 0) throw std::invalid_argument("EthernetSwitch: zero rate");
+  wire_telemetry();
+}
+
+void EthernetSwitch::wire_telemetry() {
+  const std::string p = "ethernet." + name_ + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_forwarded_, "forwarded");
+  rewire(c_dropped_policer_, "dropped_policer");
+  rewire(c_dropped_vlan_, "dropped_vlan");
+  rewire(c_dropped_port_down_, "dropped_port_down");
+  rewire(c_flooded_, "flooded");
+  k_port_up_ = trace_.kind("port_up");
+  k_port_down_ = trace_.kind("port_down");
+  k_drop_vlan_ = trace_.kind("drop_vlan");
+  k_drop_policed_ = trace_.kind("drop_policed");
+}
+
+void EthernetSwitch::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
 }
 
 std::size_t EthernetSwitch::connect(EthernetEndpoint* ep) {
@@ -72,8 +100,8 @@ void EthernetSwitch::set_policer(std::size_t port, double rate_bytes_per_sec,
 
 void EthernetSwitch::set_port_enabled(std::size_t port, bool enabled) {
   ports_.at(port).enabled = enabled;
-  trace_.record(sched_.now(), name_, enabled ? "port_up" : "port_down",
-                "port=" + std::to_string(port));
+  ASECK_TRACE(trace_, sched_.now(), enabled ? k_port_up_ : k_port_down_,
+              "port=" + std::to_string(port));
 }
 
 bool EthernetSwitch::port_enabled(std::size_t port) const {
@@ -88,19 +116,19 @@ bool EthernetSwitch::vlan_allowed(const Port& p, std::uint16_t vlan) const {
 bool EthernetSwitch::send(std::size_t port, EthernetFrame frame) {
   Port& in = ports_.at(port);
   if (!in.enabled) {
-    ++dropped_port_down_;
+    c_dropped_port_down_->inc();
     return false;
   }
   if (!vlan_allowed(in, frame.vlan)) {
-    ++dropped_vlan_;
-    trace_.record(sched_.now(), name_, "drop_vlan",
-                  "port=" + std::to_string(port));
+    c_dropped_vlan_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_drop_vlan_,
+                "port=" + std::to_string(port));
     return false;
   }
   if (!in.policer.admit(frame.wire_bytes(), sched_.now())) {
-    ++dropped_policer_;
-    trace_.record(sched_.now(), name_, "drop_policed",
-                  "port=" + std::to_string(port));
+    c_dropped_policer_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_drop_policed_,
+                "port=" + std::to_string(port));
     return false;
   }
   // Learn source MAC.
@@ -116,7 +144,7 @@ bool EthernetSwitch::send(std::size_t port, EthernetFrame frame) {
     if (frame.dst != kBroadcastMac && it != fdb_.end() && it->second != port) {
       deliver(it->second, frame);
     } else if (frame.dst == kBroadcastMac || it == fdb_.end()) {
-      ++flooded_;
+      c_flooded_->inc();
       for (std::size_t p = 0; p < ports_.size(); ++p) {
         if (p != port) deliver(p, frame);
       }
@@ -129,13 +157,13 @@ void EthernetSwitch::deliver(std::size_t port, const EthernetFrame& frame) {
   Port& out = ports_.at(port);
   if (!out.enabled || !vlan_allowed(out, frame.vlan)) {
     if (!out.enabled) {
-      ++dropped_port_down_;
+      c_dropped_port_down_->inc();
     } else {
-      ++dropped_vlan_;
+      c_dropped_vlan_->inc();
     }
     return;
   }
-  ++forwarded_;
+  c_forwarded_->inc();
   // Egress serialization.
   const SimTime tx = SimTime::from_seconds_f(
       static_cast<double>(frame.wire_bytes() * 8) / static_cast<double>(link_bps_));

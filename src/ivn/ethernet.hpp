@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 #include "util/bytes.hpp"
 
@@ -90,12 +91,15 @@ class EthernetSwitch {
   /// Returns false if dropped at ingress (policing/VLAN/port-down).
   bool send(std::size_t port, EthernetFrame frame);
 
-  std::uint64_t forwarded() const { return forwarded_; }
-  std::uint64_t dropped_policer() const { return dropped_policer_; }
-  std::uint64_t dropped_vlan() const { return dropped_vlan_; }
-  std::uint64_t dropped_port_down() const { return dropped_port_down_; }
-  std::uint64_t flooded() const { return flooded_; }
-  sim::TraceSink& trace() { return trace_; }
+  std::uint64_t forwarded() const { return c_forwarded_->value(); }
+  std::uint64_t dropped_policer() const { return c_dropped_policer_->value(); }
+  std::uint64_t dropped_vlan() const { return c_dropped_vlan_->value(); }
+  std::uint64_t dropped_port_down() const { return c_dropped_port_down_->value(); }
+  std::uint64_t flooded() const { return c_flooded_->value(); }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
   /// Port an endpoint MAC was learned on, if any.
   std::optional<std::size_t> learned_port(const MacAddress& mac) const;
@@ -110,6 +114,7 @@ class EthernetSwitch {
 
   bool vlan_allowed(const Port& p, std::uint16_t vlan) const;
   void deliver(std::size_t port, const EthernetFrame& frame);
+  void wire_telemetry();
 
   Scheduler& sched_;
   std::string name_;
@@ -117,12 +122,15 @@ class EthernetSwitch {
   SimTime processing_delay_;
   std::vector<Port> ports_;
   std::map<std::uint64_t, std::size_t> fdb_;  // mac (as u64) -> port
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_policer_ = 0;
-  std::uint64_t dropped_vlan_ = 0;
-  std::uint64_t dropped_port_down_ = 0;
-  std::uint64_t flooded_ = 0;
-  sim::TraceSink trace_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_forwarded_ = nullptr;
+  sim::Counter* c_dropped_policer_ = nullptr;
+  sim::Counter* c_dropped_vlan_ = nullptr;
+  sim::Counter* c_dropped_port_down_ = nullptr;
+  sim::Counter* c_flooded_ = nullptr;
+  sim::TraceId k_port_up_ = 0, k_port_down_ = 0, k_drop_vlan_ = 0,
+               k_drop_policed_ = 0;
 };
 
 }  // namespace aseck::ivn

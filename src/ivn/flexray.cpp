@@ -6,10 +6,37 @@
 namespace aseck::ivn {
 
 FlexRayBus::FlexRayBus(Scheduler& sched, std::string name, FlexRayConfig cfg)
-    : sched_(sched), name_(std::move(name)), cfg_(cfg) {
+    : sched_(sched),
+      name_(std::move(name)),
+      cfg_(cfg),
+      trace_(name_),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
   if (cfg_.static_slots == 0) {
     throw std::invalid_argument("FlexRayBus: need at least one static slot");
   }
+  wire_telemetry();
+}
+
+void FlexRayBus::wire_telemetry() {
+  const std::string p = "flexray." + name_ + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_static_frames_, "static_frames");
+  rewire(c_null_frames_, "null_frames");
+  rewire(c_dynamic_frames_, "dynamic_frames");
+  rewire(c_dynamic_dropped_, "dynamic_dropped");
+  k_static_ = trace_.kind("static");
+  k_dynamic_ = trace_.kind("dynamic");
+}
+
+void FlexRayBus::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
 }
 
 void FlexRayBus::assign_static_slot(std::uint16_t slot, FlexRayNode* node) {
@@ -63,15 +90,15 @@ void FlexRayBus::run_cycle() {
       frame.cycle = cyc;
       if (payload) {
         frame.payload = std::move(*payload);
-        ++static_frames_;
-        trace_.record(sched_.now(), name_, "static",
-                      "slot=" + std::to_string(slot));
+        c_static_frames_->inc();
+        ASECK_TRACE(trace_, sched_.now(), k_static_,
+                    "slot=" + std::to_string(slot));
         for (FlexRayNode* l : listeners_) {
           if (l != owner) l->on_frame(frame, sched_.now());
         }
       } else {
         frame.null_frame = true;
-        ++null_frames_;
+        c_null_frames_->inc();
       }
     });
   }
@@ -92,7 +119,7 @@ void FlexRayBus::run_cycle() {
         (frame_bits + minislot_bits - 1) / minislot_bits);
     if (used_minislots + need > cfg_.dynamic_minislots) {
       carry.push_back(std::move(e));
-      ++dynamic_dropped_;
+      c_dynamic_dropped_->inc();
       continue;
     }
     const SimTime at = dyn_start + cfg_.minislot_len * used_minislots;
@@ -102,10 +129,10 @@ void FlexRayBus::run_cycle() {
     frame.cycle = cycle_;
     frame.payload = std::move(e.payload);
     FlexRayNode* from = e.from;
-    ++dynamic_frames_;
+    c_dynamic_frames_->inc();
     sched_.schedule_at(at, [this, frame = std::move(frame), from] {
-      trace_.record(sched_.now(), name_, "dynamic",
-                    "slot=" + std::to_string(frame.slot_id));
+      ASECK_TRACE(trace_, sched_.now(), k_dynamic_,
+                  "slot=" + std::to_string(frame.slot_id));
       for (FlexRayNode* l : listeners_) {
         if (l != from) l->on_frame(frame, sched_.now());
       }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 #include "util/bytes.hpp"
 
@@ -81,15 +82,19 @@ class FlexRayBus {
   void stop();
 
   std::uint8_t cycle() const { return cycle_; }
-  std::uint64_t static_frames() const { return static_frames_; }
-  std::uint64_t null_frames() const { return null_frames_; }
-  std::uint64_t dynamic_frames() const { return dynamic_frames_; }
-  std::uint64_t dynamic_dropped() const { return dynamic_dropped_; }
+  std::uint64_t static_frames() const { return c_static_frames_->value(); }
+  std::uint64_t null_frames() const { return c_null_frames_->value(); }
+  std::uint64_t dynamic_frames() const { return c_dynamic_frames_->value(); }
+  std::uint64_t dynamic_dropped() const { return c_dynamic_dropped_->value(); }
   const FlexRayConfig& config() const { return cfg_; }
-  sim::TraceSink& trace() { return trace_; }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
  private:
   void run_cycle();
+  void wire_telemetry();
 
   Scheduler& sched_;
   std::string name_;
@@ -104,11 +109,13 @@ class FlexRayBus {
   std::vector<DynEntry> dyn_queue_;
   bool running_ = false;
   std::uint8_t cycle_ = 0;
-  std::uint64_t static_frames_ = 0;
-  std::uint64_t null_frames_ = 0;
-  std::uint64_t dynamic_frames_ = 0;
-  std::uint64_t dynamic_dropped_ = 0;
-  sim::TraceSink trace_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_static_frames_ = nullptr;
+  sim::Counter* c_null_frames_ = nullptr;
+  sim::Counter* c_dynamic_frames_ = nullptr;
+  sim::Counter* c_dynamic_dropped_ = nullptr;
+  sim::TraceId k_static_ = 0, k_dynamic_ = 0;
 };
 
 }  // namespace aseck::ivn

@@ -23,8 +23,35 @@ std::uint8_t lin_checksum(std::uint8_t pid, util::BytesView data, bool enhanced)
 }
 
 LinMaster::LinMaster(Scheduler& sched, std::string name, std::uint64_t bitrate_bps)
-    : sched_(sched), name_(std::move(name)), bitrate_(bitrate_bps) {
+    : sched_(sched),
+      name_(std::move(name)),
+      bitrate_(bitrate_bps),
+      trace_(name_),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
   if (bitrate_ == 0) throw std::invalid_argument("LinMaster: zero bitrate");
+  wire_telemetry();
+}
+
+void LinMaster::wire_telemetry() {
+  const std::string p = "lin." + name_ + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_frames_ok_, "frames_ok");
+  rewire(c_no_response_, "no_response");
+  rewire(c_checksum_errors_, "checksum_errors");
+  k_frame_ = trace_.kind("frame");
+  k_no_response_ = trace_.kind("no_response");
+  k_checksum_error_ = trace_.kind("checksum_error");
+}
+
+void LinMaster::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
 }
 
 void LinMaster::attach(LinSlave* slave) { slaves_.push_back(slave); }
@@ -60,9 +87,9 @@ void LinMaster::run_slot(std::size_t index) {
   }
 
   if (!response) {
-    ++no_response_;
-    trace_.record(sched_.now(), name_, "no_response",
-                  "id=" + std::to_string(slot.id));
+    c_no_response_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_no_response_,
+                "id=" + std::to_string(slot.id));
   } else {
     LinFrame frame{slot.id, *response, true};
     const std::uint8_t expected =
@@ -72,16 +99,16 @@ void LinMaster::run_slot(std::size_t index) {
     const std::uint8_t actual =
         lin_checksum(pid, frame.data, frame.enhanced_checksum);
     if (corrupted && actual != expected) {
-      ++checksum_errors_;
-      trace_.record(sched_.now(), name_, "checksum_error",
-                    "id=" + std::to_string(slot.id));
+      c_checksum_errors_->inc();
+      ASECK_TRACE(trace_, sched_.now(), k_checksum_error_,
+                  "id=" + std::to_string(slot.id));
     } else {
-      ++frames_ok_;
+      c_frames_ok_->inc();
       // Response time: (data+checksum) bytes at 10 bits each + header.
       const std::size_t bits = 34 + (frame.data.size() + 1) * 10;
       const SimTime when = sched_.now() + SimTime::from_seconds_f(
           static_cast<double>(bits) / static_cast<double>(bitrate_));
-      trace_.record(when, name_, "frame", "id=" + std::to_string(slot.id));
+      ASECK_TRACE(trace_, when, k_frame_, "id=" + std::to_string(slot.id));
       for (LinSlave* s : slaves_) {
         if (s != responder) s->on_frame(frame, when);
       }

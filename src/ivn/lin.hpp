@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 #include "util/bytes.hpp"
 
@@ -67,21 +68,25 @@ class LinMaster {
   void stop();
 
   /// Frames completed (with a responder).
-  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t frames_ok() const { return c_frames_ok_->value(); }
   /// Headers that no slave answered.
-  std::uint64_t no_response() const { return no_response_; }
+  std::uint64_t no_response() const { return c_no_response_->value(); }
   /// Observed checksum errors (corruption injection).
-  std::uint64_t checksum_errors() const { return checksum_errors_; }
+  std::uint64_t checksum_errors() const { return c_checksum_errors_->value(); }
 
   /// Corruption hook: called with the response payload before delivery; may
   /// mutate it (returns true if mutated) to model noise/attack.
   using Corruptor = std::function<bool(util::Bytes&)>;
   void set_corruptor(Corruptor c) { corruptor_ = std::move(c); }
 
-  sim::TraceSink& trace() { return trace_; }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
  private:
   void run_slot(std::size_t index);
+  void wire_telemetry();
 
   Scheduler& sched_;
   std::string name_;
@@ -89,11 +94,13 @@ class LinMaster {
   std::vector<LinSlave*> slaves_;
   std::vector<LinSlot> schedule_;
   bool running_ = false;
-  std::uint64_t frames_ok_ = 0;
-  std::uint64_t no_response_ = 0;
-  std::uint64_t checksum_errors_ = 0;
   Corruptor corruptor_;
-  sim::TraceSink trace_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_frames_ok_ = nullptr;
+  sim::Counter* c_no_response_ = nullptr;
+  sim::Counter* c_checksum_errors_ = nullptr;
+  sim::TraceId k_frame_ = 0, k_no_response_ = 0, k_checksum_error_ = 0;
 };
 
 }  // namespace aseck::ivn

@@ -49,8 +49,35 @@ util::Bytes someip_mac_trailer(const crypto::Cmac& cmac, const SomeIpMessage& m)
 
 SomeIpServer::SomeIpServer(EthernetSwitch& sw, std::string name, MacAddress mac,
                            const ServiceAcl* acl)
-    : EthernetEndpoint(std::move(name), mac), switch_(sw), acl_(acl) {
+    : EthernetEndpoint(std::move(name), mac),
+      switch_(sw),
+      acl_(acl),
+      trace_(this->name()),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
   port_ = sw.connect(this);
+  wire_telemetry();
+}
+
+void SomeIpServer::wire_telemetry() {
+  const std::string p = "someip." + name() + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_served_, "served");
+  rewire(c_denied_acl_, "denied_acl");
+  rewire(c_denied_mac_, "denied_mac");
+  k_serve_ = trace_.kind("serve");
+  k_deny_acl_ = trace_.kind("deny_acl");
+  k_deny_mac_ = trace_.kind("deny_mac");
+}
+
+void SomeIpServer::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
 }
 
 void SomeIpServer::offer(ServiceId service, MethodId method, Handler handler,
@@ -61,7 +88,7 @@ void SomeIpServer::offer(ServiceId service, MethodId method, Handler handler,
   methods_[{service, method}] = std::move(ep);
 }
 
-void SomeIpServer::on_frame(const EthernetFrame& frame, sim::SimTime) {
+void SomeIpServer::on_frame(const EthernetFrame& frame, sim::SimTime at) {
   if (frame.ethertype != kSomeIpEthertype) return;
   // Split message || optional trailer.
   auto m = SomeIpMessage::parse(frame.payload);
@@ -87,18 +114,27 @@ void SomeIpServer::on_frame(const EthernetFrame& frame, sim::SimTime) {
                         : SomeIpError::kUnknownService;
   } else if (acl_ && !acl_->permitted(m->service, m->client)) {
     err = SomeIpError::kAccessDenied;
-    ++denied_acl_;
+    c_denied_acl_->inc();
+    ASECK_TRACE(trace_, at, k_deny_acl_,
+                "service=" + std::to_string(m->service) +
+                    " client=" + std::to_string(m->client));
   } else if (it->second.cmac) {
     if (trailer.size() != kMacTrailerBytes ||
         !util::ct_equal(trailer, someip_mac_trailer(*it->second.cmac, *m))) {
       err = SomeIpError::kBadMac;
-      ++denied_mac_;
+      c_denied_mac_->inc();
+      ASECK_TRACE(trace_, at, k_deny_mac_,
+                  "service=" + std::to_string(m->service) +
+                      " client=" + std::to_string(m->client));
     }
   }
 
   if (err == SomeIpError::kOk) {
     reply.payload = it->second.handler(m->payload);
-    ++served_;
+    c_served_->inc();
+    ASECK_TRACE(trace_, at, k_serve_,
+                "service=" + std::to_string(m->service) +
+                    " method=" + std::to_string(m->method));
   } else {
     reply.type = SomeIpMessage::Type::kError;
     reply.payload = {static_cast<std::uint8_t>(err)};

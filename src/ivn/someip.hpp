@@ -82,23 +82,32 @@ class SomeIpServer : public EthernetEndpoint {
 
   void on_frame(const EthernetFrame& frame, sim::SimTime at) override;
 
-  std::uint64_t served() const { return served_; }
-  std::uint64_t denied_acl() const { return denied_acl_; }
-  std::uint64_t denied_mac() const { return denied_mac_; }
+  std::uint64_t served() const { return c_served_->value(); }
+  std::uint64_t denied_acl() const { return c_denied_acl_->value(); }
+  std::uint64_t denied_mac() const { return c_denied_mac_->value(); }
   std::size_t port() const { return port_; }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
  private:
   struct Endpoint {
     Handler handler;
     std::optional<crypto::Cmac> cmac;
   };
+  void wire_telemetry();
+
   EthernetSwitch& switch_;
   const ServiceAcl* acl_;
   std::size_t port_;
   std::map<std::pair<ServiceId, MethodId>, Endpoint> methods_;
-  std::uint64_t served_ = 0;
-  std::uint64_t denied_acl_ = 0;
-  std::uint64_t denied_mac_ = 0;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_served_ = nullptr;
+  sim::Counter* c_denied_acl_ = nullptr;
+  sim::Counter* c_denied_mac_ = nullptr;
+  sim::TraceId k_serve_ = 0, k_deny_acl_ = 0, k_deny_mac_ = 0;
 };
 
 /// A service consumer.

@@ -19,7 +19,33 @@ SeedKeyFn cmac_algorithm(util::Bytes key16) {
 }
 
 UdsServer::UdsServer(Config cfg, std::uint64_t seed)
-    : cfg_(std::move(cfg)), rng_(seed) {}
+    : cfg_(std::move(cfg)),
+      rng_(seed),
+      trace_("uds"),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
+  wire_telemetry();
+}
+
+void UdsServer::wire_telemetry() {
+  const auto rewire = [this](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(std::string("uds.") + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_unlock_ok_, "unlock_ok");
+  rewire(c_invalid_key_, "invalid_key");
+  rewire(c_lockouts_, "lockouts");
+  k_unlock_ = trace_.kind("unlock");
+  k_invalid_key_ = trace_.kind("invalid_key");
+  k_lockout_ = trace_.kind("lockout");
+}
+
+void UdsServer::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
+}
 
 bool UdsServer::locked_out(double now_s) const {
   return now_s < lockout_until_s_;
@@ -64,12 +90,20 @@ UdsResponse UdsServer::send_key(util::BytesView key, double now_s) {
   if (util::ct_equal(expected, key)) {
     unlocked_ = true;
     failed_attempts_ = 0;
+    c_unlock_ok_->inc();
+    ASECK_TRACE(trace_, util::SimTime::from_seconds_f(now_s), k_unlock_, "");
     return {true, UdsNrc::kNone, {}};
   }
   ++failed_attempts_;
+  c_invalid_key_->inc();
+  ASECK_TRACE(trace_, util::SimTime::from_seconds_f(now_s), k_invalid_key_,
+              "attempt=" + std::to_string(failed_attempts_));
   if (failed_attempts_ >= cfg_.max_attempts) {
     lockout_until_s_ = now_s + cfg_.lockout_s;
     failed_attempts_ = 0;
+    c_lockouts_->inc();
+    ASECK_TRACE(trace_, util::SimTime::from_seconds_f(now_s), k_lockout_,
+                "until_s=" + std::to_string(lockout_until_s_));
     return {false, UdsNrc::kExceededAttempts, {}};
   }
   return {false, UdsNrc::kInvalidKey, {}};

@@ -17,6 +17,8 @@
 #include <optional>
 
 #include "crypto/cmac.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -88,9 +90,14 @@ class UdsServer {
   bool unlocked() const { return unlocked_; }
   UdsSession session() const { return session_; }
   std::uint32_t failed_attempts() const { return failed_attempts_; }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
 
  private:
   bool locked_out(double now_s) const;
+  void wire_telemetry();
 
   Config cfg_;
   util::Rng rng_;
@@ -104,6 +111,12 @@ class UdsServer {
     bool write_protected;
   };
   std::map<std::uint16_t, DidEntry> dids_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_unlock_ok_ = nullptr;
+  sim::Counter* c_invalid_key_ = nullptr;
+  sim::Counter* c_lockouts_ = nullptr;
+  sim::TraceId k_unlock_ = 0, k_invalid_key_ = 0, k_lockout_ = 0;
 };
 
 /// Brute-force attack against the weak XOR scheme: given one observed

@@ -31,9 +31,32 @@ const char* ota_error_name(OtaError e) {
 FullVerificationClient::FullVerificationClient(std::string name,
                                                Signed<RootMeta> director_root,
                                                Signed<RootMeta> image_root)
-    : name_(std::move(name)) {
+    : name_(std::move(name)),
+      trace_("ota." + name_),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
   director_.trusted_root = std::move(director_root);
   image_.trusted_root = std::move(image_root);
+  wire_telemetry();
+}
+
+void FullVerificationClient::wire_telemetry() {
+  const std::string p = "ota." + name_ + ".";
+  const auto rewire = [this, &p](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(p + key);
+    if (c && c != &nc) nc.inc(c->value());
+    c = &nc;
+  };
+  rewire(c_verify_ok_, "verify_ok");
+  rewire(c_verify_fail_, "verify_fail");
+  k_verify_ok_ = trace_.kind("verify_ok");
+  k_verify_fail_ = trace_.kind("verify_fail");
+}
+
+void FullVerificationClient::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
 }
 
 OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
@@ -110,6 +133,26 @@ OtaError FullVerificationClient::verify_chain(const MetadataBundle& bundle,
 }
 
 FullVerificationClient::Outcome FullVerificationClient::fetch_and_verify(
+    const MetadataBundle& director, const MetadataBundle& image_repo,
+    const Repository& director_repo, const Repository& image_repo_store,
+    const std::string& image_name, const std::string& hardware_id,
+    std::uint32_t installed_version, SimTime now) {
+  Outcome out =
+      fetch_and_verify_inner(director, image_repo, director_repo,
+                             image_repo_store, image_name, hardware_id,
+                             installed_version, now);
+  if (out.error == OtaError::kOk) {
+    c_verify_ok_->inc();
+    ASECK_TRACE(trace_, now, k_verify_ok_, "image=" + image_name);
+  } else {
+    c_verify_fail_->inc();
+    ASECK_TRACE(trace_, now, k_verify_fail_,
+                std::string(ota_error_name(out.error)) + " image=" + image_name);
+  }
+  return out;
+}
+
+FullVerificationClient::Outcome FullVerificationClient::fetch_and_verify_inner(
     const MetadataBundle& director, const MetadataBundle& image_repo,
     const Repository& director_repo, const Repository& image_repo_store,
     const std::string& image_name, const std::string& hardware_id,

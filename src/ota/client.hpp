@@ -11,6 +11,8 @@
 
 #include "ecu/flash.hpp"
 #include "ota/repository.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 
 namespace aseck::ota {
 
@@ -65,6 +67,13 @@ class FullVerificationClient {
   OtaError verify_chain(const MetadataBundle& bundle, bool is_director,
                         SimTime now);
 
+  std::uint64_t verify_ok() const { return c_verify_ok_->value(); }
+  std::uint64_t verify_fail() const { return c_verify_fail_->value(); }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events and counters onto a shared telemetry plane.
+  void bind_telemetry(const sim::Telemetry& t);
+
  private:
   struct RepoState {
     Signed<RootMeta> trusted_root;
@@ -74,10 +83,23 @@ class FullVerificationClient {
   };
   OtaError verify_repo(const MetadataBundle& bundle, RepoState& st, SimTime now,
                        const TargetsMeta** out_targets);
+  Outcome fetch_and_verify_inner(const MetadataBundle& director,
+                                 const MetadataBundle& image_repo,
+                                 const Repository& director_repo,
+                                 const Repository& image_repo_store,
+                                 const std::string& image_name,
+                                 const std::string& hardware_id,
+                                 std::uint32_t installed_version, SimTime now);
+  void wire_telemetry();
 
   std::string name_;
   RepoState director_;
   RepoState image_;
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_verify_ok_ = nullptr;
+  sim::Counter* c_verify_fail_ = nullptr;
+  sim::TraceId k_verify_ok_ = 0, k_verify_fail_ = 0;
 };
 
 /// Partial-verification (secondary ECU) client: pinned director-targets key,

@@ -1,6 +1,5 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace aseck::sim {
@@ -9,13 +8,13 @@ EventId Scheduler::schedule_at(SimTime at, EventFn fn) {
   if (at < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
   const std::uint64_t seq = next_seq_++;
   queue_.push(Item{at, seq, std::move(fn)});
+  live_.insert(seq);
   return EventId{seq};
 }
 
 void Scheduler::cancel(EventId id) {
   if (!id.valid()) return;
-  cancelled_.push_back(id.seq);
-  ++cancelled_count_;
+  live_.erase(id.seq);  // no-op if already fired or cancelled
 }
 
 bool Scheduler::pop_next(Item& out) {
@@ -24,12 +23,7 @@ bool Scheduler::pop_next(Item& out) {
     // here and safe because we pop immediately.
     Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), item.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
-      continue;
-    }
+    if (live_.erase(item.seq) == 0) continue;  // cancelled
     out = std::move(item);
     return true;
   }
@@ -59,6 +53,8 @@ std::size_t Scheduler::run_until(SimTime until) {
     if (!pop_next(item)) break;
     if (item.at > until) {
       // Rare: popped a live item past the horizon (head was cancelled).
+      // pop_next removed it from live_; restore before re-queueing.
+      live_.insert(item.seq);
       queue_.push(std::move(item));
       break;
     }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/time.hpp"
@@ -50,8 +51,8 @@ class Scheduler {
   /// Executes exactly one event if available. Returns false if queue empty.
   bool step();
 
-  bool empty() const { return queue_.size() == cancelled_count_; }
-  std::size_t pending() const { return queue_.size() - cancelled_count_; }
+  bool empty() const { return live_.empty(); }
+  std::size_t pending() const { return live_.size(); }
   std::uint64_t executed() const { return executed_; }
 
  private:
@@ -71,8 +72,10 @@ class Scheduler {
 
   SimTime now_ = SimTime::zero();
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insertion not needed; small
-  std::size_t cancelled_count_ = 0;
+  // Seqs scheduled but not yet fired or cancelled. Cancel erases; pop erases
+  // on dequeue — so cancelling a fired/cancelled id is a true O(1) no-op and
+  // pending()/empty() never drift.
+  std::unordered_set<std::uint64_t> live_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
 };

@@ -1,6 +1,11 @@
 #pragma once
 // Structured event tracing for simulations. Components append records; tests
 // and reports query them. Cheap when disabled.
+//
+// NOTE: `TraceSink` is the legacy per-component sink kept for API
+// compatibility and as the micro-benchmark baseline; new code (and every
+// substrate in this library) records through the shared
+// `sim::TraceBus`/`sim::TraceScope` in sim/telemetry.hpp instead.
 
 #include <cstdint>
 #include <string>
@@ -40,3 +45,11 @@ class TraceSink {
 };
 
 }  // namespace aseck::sim
+
+/// Records on any sink-like object (TraceSink, TraceScope, TraceBus) without
+/// evaluating the record arguments — in particular detail-string
+/// concatenations — when the sink is disabled. Use at hot call sites.
+#define ASECK_TRACE(sink, ...)                      \
+  do {                                              \
+    if ((sink).enabled()) (sink).record(__VA_ARGS__); \
+  } while (0)

@@ -77,13 +77,28 @@ VehicleNode::VehicleNode(Scheduler& sched, V2xMedium& medium, std::string name,
       t0_(sched.now()),
       trust_(trust),
       pseudonyms_(std::move(pseudonyms)),
-      policy_(policy) {
+      policy_(policy),
+      trace_("v2x." + this->name()) {
   if (pseudonyms_.certs.empty()) {
     throw std::invalid_argument("VehicleNode: empty pseudonym pool");
   }
   // Temp id derived from the pseudonym cert id (unlinkable across certs).
   temp_id_ = util::load_be32(pseudonyms_.certs[0].id().data());
+  // Standalone nodes stay silent: V2X scale runs have thousands of nodes at
+  // 10 Hz and an unbounded private buffer would dominate memory.
+  trace_.set_enabled(false);
+  k_bsm_tx_ = trace_.kind("bsm_tx");
+  k_verify_fail_ = trace_.kind("verify_fail");
+  k_misbehavior_ = trace_.kind("misbehavior");
   medium_.attach(this);
+}
+
+void VehicleNode::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  trace_.set_enabled(true);
+  k_bsm_tx_ = trace_.kind("bsm_tx");
+  k_verify_fail_ = trace_.kind("verify_fail");
+  k_misbehavior_ = trace_.kind("misbehavior");
 }
 
 Position VehicleNode::position() const {
@@ -117,6 +132,8 @@ void VehicleNode::send_bsm() {
       Spdu::sign(Psid::kBsm, sched_.now(), bsm.serialize(),
                  pseudonyms_.certs[pseudo_idx_], pseudonyms_.keys[pseudo_idx_]);
   ++stats_.bsm_sent;
+  ASECK_TRACE(trace_, sched_.now(), k_bsm_tx_,
+              "temp_id=" + std::to_string(temp_id_));
   medium_.broadcast(this, msg);
 }
 
@@ -142,6 +159,8 @@ void VehicleNode::on_spdu(const Spdu& msg, SimTime) {
   stats_.verify_latency_us.add(kVerifyCostUs);
   if (status != VerifyStatus::kOk) {
     ++stats_.rejected[status];
+    ASECK_TRACE(trace_, now, k_verify_fail_,
+                "status=" + std::to_string(static_cast<int>(status)));
     return;
   }
   ++stats_.verified_ok;
@@ -149,6 +168,7 @@ void VehicleNode::on_spdu(const Spdu& msg, SimTime) {
     const std::string flag = misbehavior_.check(*bsm, now);
     if (!flag.empty()) {
       ++stats_.misbehavior_flags;
+      ASECK_TRACE(trace_, now, k_misbehavior_, flag);
       return;
     }
     if (bsm_sink_) bsm_sink_(*bsm, msg, now);

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "v2x/message.hpp"
@@ -125,6 +127,13 @@ class VehicleNode : public V2xRadio {
   void stop();
 
   const VehicleStats& stats() const { return stats_; }
+  sim::TraceScope& trace() { return trace_; }
+
+  /// Rebinds trace events onto a shared telemetry plane. Standalone vehicles
+  /// keep tracing disabled (V2X scale benches run thousands of nodes at
+  /// 10 Hz); binding to a shared bus opts the node into the global timeline.
+  void bind_telemetry(const sim::Telemetry& t);
+
   std::uint32_t current_temp_id() const { return temp_id_; }
   std::size_t pseudonym_index() const { return pseudo_idx_; }
   MisbehaviorDetector& misbehavior() { return misbehavior_; }
@@ -157,6 +166,8 @@ class VehicleNode : public V2xRadio {
   std::uint32_t temp_id_ = 0;
   MisbehaviorDetector misbehavior_;
   VehicleStats stats_;
+  sim::TraceScope trace_;
+  sim::TraceId k_bsm_tx_ = 0, k_verify_fail_ = 0, k_misbehavior_ = 0;
   BsmSink bsm_sink_;
   std::unique_ptr<sim::PeriodicTask> bsm_task_;
   std::unique_ptr<sim::PeriodicTask> rotate_task_;

@@ -69,6 +69,53 @@ TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Scheduler, CancelAfterFireDoesNotAffectBookkeeping) {
+  Scheduler s;
+  int count = 0;
+  const EventId id = s.schedule_in(SimTime::from_us(1), [&] { ++count; });
+  s.schedule_in(SimTime::from_us(2), [&] { ++count; });
+  EXPECT_EQ(s.pending(), 2u);
+  s.run(1);  // fires `id`
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(id);  // fired already: must be a true no-op
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_FALSE(s.empty());
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, DoubleCancelIsHarmless) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_in(SimTime::from_us(1), [&] { ran = true; });
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 0u);
+  s.cancel(id);  // second cancel of the same id
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.empty());
+  s.run();
+  EXPECT_FALSE(ran);
+  // A cancelled seq must not poison later events.
+  s.schedule_in(SimTime::from_us(1), [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RunUntilKeepsBeyondHorizonEventLive) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(SimTime::from_us(100), [&] { ran = true; });
+  s.run_until(SimTime::from_us(50));
+  // The event was popped and re-pushed internally; it must still count as
+  // pending and must still fire on the next run.
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_FALSE(s.empty());
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(s.empty());
+}
+
 TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
   Scheduler s;
   int count = 0;

@@ -1,0 +1,371 @@
+// Tests for the unified telemetry core: TraceBus interning / ring buffer /
+// subscribers, MetricsRegistry instruments and JSON export, TraceScope
+// binding, and the cross-layer causal timeline (CAN spoof -> gateway drop ->
+// IDS alert on one shared bus).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ecu/ecu.hpp"
+#include "gateway/gateway.hpp"
+#include "ids/detectors.hpp"
+#include "ivn/ethernet.hpp"
+#include "ivn/flexray.hpp"
+#include "ivn/lin.hpp"
+#include "ivn/someip.hpp"
+#include "ivn/uds.hpp"
+#include "sim/telemetry.hpp"
+
+namespace aseck::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(TraceBus, InterningIsIdempotentAndStable) {
+  TraceBus bus;
+  const TraceId a = bus.intern("can0");
+  const TraceId b = bus.intern("tx");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(bus.intern("can0"), a);  // same spelling -> same id
+  EXPECT_EQ(bus.lookup("can0"), a);
+  EXPECT_EQ(bus.lookup("never-seen"), 0u);
+  EXPECT_EQ(bus.name(a), "can0");
+  EXPECT_EQ(bus.name(0), "");
+  EXPECT_EQ(bus.interned(), 2u);
+  EXPECT_EQ(bus.intern(""), 0u);  // empty stays the reserved id
+}
+
+TEST(TraceBus, RecordsWithMonotonicSeqAndQueries) {
+  TraceBus bus;
+  bus.record(SimTime::from_us(1), "can0", "tx", "id=100");
+  bus.record(SimTime::from_us(2), "can0", "tx_error");
+  bus.record(SimTime::from_us(3), "cgw", "drop", "no_route");
+  ASSERT_EQ(bus.size(), 3u);
+  EXPECT_LT(bus.event(0).seq, bus.event(1).seq);
+  EXPECT_LT(bus.event(1).seq, bus.event(2).seq);
+  EXPECT_EQ(bus.count("can0"), 2u);
+  EXPECT_EQ(bus.count("can0", "tx"), 1u);
+  EXPECT_EQ(bus.count("", "drop"), 1u);
+  EXPECT_EQ(bus.count("lin0"), 0u);
+  const TraceEvent* e = bus.find_first("cgw");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->detail, "no_route");
+  EXPECT_EQ(bus.total_recorded(), 3u);
+}
+
+TEST(TraceBus, DisabledBusRecordsNothing) {
+  TraceBus bus;
+  bus.set_enabled(false);
+  bus.record(SimTime::from_us(1), "c", "k");
+  EXPECT_EQ(bus.size(), 0u);
+  EXPECT_EQ(bus.total_recorded(), 0u);
+  bus.set_enabled(true);
+  bus.record(SimTime::from_us(2), "c", "k");
+  EXPECT_EQ(bus.size(), 1u);
+}
+
+TEST(TraceBus, RingBufferKeepsNewestAndCountsEvictions) {
+  TraceBus bus;
+  bus.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    bus.record(SimTime::from_us(static_cast<std::uint64_t>(i)), "c", "k",
+               "n=" + std::to_string(i));
+  }
+  ASSERT_EQ(bus.size(), 4u);
+  EXPECT_EQ(bus.evicted(), 6u);
+  EXPECT_EQ(bus.total_recorded(), 10u);
+  // Oldest-first window over the newest four records.
+  EXPECT_EQ(bus.event(0).detail, "n=6");
+  EXPECT_EQ(bus.event(3).detail, "n=9");
+  // Seq stays monotonic across the wrap.
+  EXPECT_LT(bus.event(0).seq, bus.event(3).seq);
+}
+
+TEST(TraceBus, ShrinkingCapacityEvictsOldest) {
+  TraceBus bus;
+  for (int i = 0; i < 6; ++i) {
+    bus.record(SimTime::zero(), "c", "k", std::to_string(i));
+  }
+  bus.set_capacity(2);
+  ASSERT_EQ(bus.size(), 2u);
+  EXPECT_EQ(bus.event(0).detail, "4");
+  EXPECT_EQ(bus.event(1).detail, "5");
+  EXPECT_EQ(bus.evicted(), 4u);
+  // Growing back does not resurrect anything.
+  bus.set_capacity(0);
+  EXPECT_EQ(bus.size(), 2u);
+}
+
+TEST(TraceBus, SubscriberSeesEveryEventEvenInRingMode) {
+  TraceBus bus;
+  bus.set_capacity(2);
+  std::vector<std::uint64_t> seen;
+  const std::uint64_t token =
+      bus.subscribe([&](const TraceEvent& e) { seen.push_back(e.seq); });
+  for (int i = 0; i < 5; ++i) bus.record(SimTime::zero(), "c", "k");
+  EXPECT_EQ(seen.size(), 5u);  // tap sees evicted events too
+  EXPECT_EQ(bus.size(), 2u);
+  bus.unsubscribe(token);
+  bus.record(SimTime::zero(), "c", "k");
+  EXPECT_EQ(seen.size(), 5u);  // unsubscribed: no more callbacks
+}
+
+TEST(TraceBus, TimelineFormatsFilteredOrderedLines) {
+  TraceBus bus;
+  bus.record(SimTime::from_us(1), "can0", "tx", "id=100");
+  bus.record(SimTime::from_us(2), "cgw", "drop");
+  const std::string all = bus.timeline();
+  EXPECT_NE(all.find("can0 tx id=100"), std::string::npos);
+  EXPECT_NE(all.find("cgw drop"), std::string::npos);
+  EXPECT_LT(all.find("can0"), all.find("cgw"));  // causal order
+  const std::string only_gw = bus.timeline("cgw");
+  EXPECT_EQ(only_gw.find("can0"), std::string::npos);
+  EXPECT_NE(only_gw.find("cgw drop"), std::string::npos);
+}
+
+TEST(TraceScope, PrivateBusByDefaultThenRebinds) {
+  TraceScope scope("can0");
+  const TraceId k = scope.kind("tx");
+  scope.record(SimTime::from_us(1), k, "id=1");
+  EXPECT_EQ(scope.count("can0", "tx"), 1u);  // legacy sink behavior
+
+  Telemetry shared;
+  scope.bind(shared.bus);
+  const TraceId k2 = scope.kind("tx");
+  scope.record(SimTime::from_us(2), k2);
+  EXPECT_EQ(shared.bus->count("can0", "tx"), 1u);  // lands on the shared bus
+  EXPECT_EQ(scope.count("can0", "tx"), 1u);  // old private events not migrated
+}
+
+TEST(TraceScope, LocalDisableGatesRecording) {
+  Telemetry shared;
+  TraceScope scope("v2x.car1");
+  scope.bind(shared.bus);
+  scope.set_enabled(false);
+  EXPECT_FALSE(scope.enabled());
+  scope.record(SimTime::zero(), "bsm_tx");
+  EXPECT_EQ(shared.bus->size(), 0u);
+  scope.set_enabled(true);
+  scope.record(SimTime::zero(), "bsm_tx");
+  EXPECT_EQ(shared.bus->size(), 1u);
+}
+
+TEST(Metrics, CountersAndGaugesHaveStableIdentity) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("can.can0.frames_ok");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(&reg.counter("can.can0.frames_ok"), &c);  // same instrument
+  EXPECT_EQ(reg.counter_value("can.can0.frames_ok"), 5u);
+  EXPECT_EQ(reg.counter_value("absent"), 0u);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+
+  Gauge& g = reg.gauge("bus.load");
+  g.set(0.25);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("bus.load")->value(), 0.5);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(Metrics, HistogramBucketsAndPercentiles) {
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("gw.latency_us", 0.0, 100.0, 10);
+  EXPECT_EQ(&reg.histogram("gw.latency_us", 0.0, 1.0, 2), &h);  // layout fixed
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 99.5);
+  EXPECT_NEAR(h.mean(), 50.0, 0.01);
+  for (std::size_t b = 0; b < h.buckets(); ++b) {
+    EXPECT_EQ(h.bucket_count(b), 10u);  // uniform fill, 10 per bucket
+  }
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(95), 95.0, 1.0);
+  // Clamping: out-of-range samples land in the edge buckets.
+  h.record(-5.0);
+  h.record(500.0);
+  EXPECT_EQ(h.bucket_count(0), 11u);
+  EXPECT_EQ(h.bucket_count(9), 11u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+}
+
+TEST(Metrics, ScopedTimerRecordsOneSample) {
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("t", 0.0, 1e6, 8);
+  {
+    ScopedTimer t(h);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(Metrics, JsonExportIsDeterministicAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.count").inc(2);
+  reg.counter("a.count").inc(1);
+  reg.gauge("load").set(0.5);
+  reg.histogram("lat", 0.0, 10.0, 2).record(3.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\":{\"a.count\":1,\"b.count\":2}"),
+            std::string::npos);  // name-sorted
+  EXPECT_NE(json.find("\"gauges\":{\"load\":0.5}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// Cross-substrate integration
+
+struct VehicleFixture {
+  Scheduler sched;
+  Telemetry telemetry;
+  ivn::CanBus powertrain{sched, "powertrain", 500000};
+  ivn::CanBus infotainment{sched, "infotainment", 500000};
+  gateway::SecurityGateway gw{sched, "cgw"};
+  ecu::Ecu engine{sched, "engine", 1};
+  ecu::Ecu radio{sched, "radio", 2};
+  ids::IdsEnsemble ids = ids::make_default_ensemble();
+
+  VehicleFixture() {
+    powertrain.bind_telemetry(telemetry);
+    infotainment.bind_telemetry(telemetry);
+    gw.bind_telemetry(telemetry);
+    ids.bind_telemetry(telemetry);
+    gw.add_domain("powertrain", &powertrain);
+    gw.add_domain("infotainment", &infotainment);
+    provision(engine);
+    provision(radio);
+    engine.attach_to(&powertrain);
+    radio.attach_to(&infotainment);
+    engine.boot();
+    radio.boot();
+  }
+
+  static void provision(ecu::Ecu& e) {
+    crypto::Block k{};
+    e.provision(ecu::FirmwareImage{e.name() + "-fw", 1, util::Bytes(64, 1)}, k,
+                k, k);
+  }
+};
+
+TEST(CrossLayer, SpoofDropAlertIsOneCausallyOrderedTimeline) {
+  VehicleFixture f;
+  // The IDS taps the gateway's drop stream: every dropped frame is scored.
+  f.gw.set_drop_observer([&](const std::string&, const ivn::CanFrame& frame,
+                             gateway::DropReason) {
+    f.ids.observe(frame, f.sched.now());
+  });
+  // A compromised radio spoofs a powertrain id with no route: CAN tx on the
+  // infotainment bus -> gateway no-route drop -> IDS alert (unknown id).
+  f.radio.send_frame(0x666, util::Bytes{0xde, 0xad});
+  f.sched.run();
+
+  TraceBus& bus = *f.telemetry.bus;
+  const TraceEvent* tx = bus.find_first("infotainment", "tx");
+  const TraceEvent* drop = bus.find_first("cgw", "drop");
+  const TraceEvent* alert = bus.find_first("ids", "alert");
+  ASSERT_NE(tx, nullptr);
+  ASSERT_NE(drop, nullptr);
+  ASSERT_NE(alert, nullptr);
+  // One stream, causally ordered: spoof happened-before drop happened-before
+  // alert.
+  EXPECT_LT(tx->seq, drop->seq);
+  EXPECT_LT(drop->seq, alert->seq);
+  EXPECT_LE(tx->at, drop->at);
+  EXPECT_LE(drop->at, alert->at);
+
+  // The shared registry holds all three substrates' counters.
+  MetricsRegistry& m = *f.telemetry.metrics;
+  EXPECT_EQ(m.counter_value("can.infotainment.frames_ok"), 1u);
+  EXPECT_EQ(m.counter_value("gateway.cgw.dropped_no_route"), 1u);
+  EXPECT_EQ(m.counter_value("ids.alerts"), 1u);
+
+  // And the human-readable timeline shows the chain in order.
+  const std::string t = bus.timeline();
+  EXPECT_LT(t.find("infotainment tx"), t.find("cgw drop"));
+  EXPECT_LT(t.find("cgw drop"), t.find("ids alert"));
+}
+
+TEST(CrossLayer, SubscriberTapsGatewayDropsLive) {
+  VehicleFixture f;
+  int taps = 0;
+  const TraceId cgw = f.telemetry.bus->intern("cgw");
+  const TraceId drop = f.telemetry.bus->intern("drop");
+  f.telemetry.bus->subscribe([&](const TraceEvent& e) {
+    if (e.component == cgw && e.kind == drop) ++taps;
+  });
+  f.radio.send_frame(0x666, util::Bytes{0x01});
+  f.sched.run();
+  EXPECT_EQ(taps, 1);
+}
+
+TEST(CrossLayer, EverySubstrateBindsOntoOneRegistry) {
+  Scheduler sched;
+  Telemetry t;
+
+  ivn::CanBus can{sched, "can0", 500000};
+  ivn::LinMaster lin{sched, "lin0", 19200};
+  ivn::FlexRayBus flexray{sched, "fr0"};
+  ivn::EthernetSwitch eth{sched, "sw0"};
+  ivn::ServiceAcl acl;
+  ivn::SomeIpServer someip{eth, "srv", ivn::mac_from_u64(1), &acl};
+  ivn::UdsServer uds{{ivn::weak_xor_algorithm(0xC0FFEE)}, 7};
+  gateway::SecurityGateway gw{sched, "cgw"};
+  ids::IdsEnsemble ids = ids::make_default_ensemble();
+
+  can.bind_telemetry(t);
+  lin.bind_telemetry(t);
+  flexray.bind_telemetry(t);
+  eth.bind_telemetry(t);
+  someip.bind_telemetry(t);
+  uds.bind_telemetry(t);
+  gw.bind_telemetry(t);
+  ids.bind_telemetry(t);
+
+  const std::string json = t.metrics->to_json();
+  for (const char* key :
+       {"can.can0.frames_ok", "lin.lin0.frames_ok", "flexray.fr0.static_frames",
+        "ethernet.sw0.forwarded", "someip.srv.served", "uds.unlock_ok",
+        "gateway.cgw.forwarded", "ids.alerts"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Rebinding carried the (zero) counters over without duplicating them.
+  EXPECT_EQ(t.metrics->counter_value("can.can0.frames_ok"), 0u);
+}
+
+TEST(CrossLayer, RebindCarriesAccumulatedCountersOver) {
+  Scheduler sched;
+  ivn::CanBus can{sched, "can0", 500000};
+  ecu::Ecu a{sched, "a", 1}, b{sched, "b", 2};
+  VehicleFixture::provision(a);
+  VehicleFixture::provision(b);
+  a.attach_to(&can);
+  b.attach_to(&can);
+  a.boot();
+  b.boot();
+  a.send_frame(0x100, util::Bytes{0x01});
+  sched.run();
+  ASSERT_EQ(can.stats().frames_ok, 1u);
+
+  // Late bind (e.g. a bus built before the platform existed): the counter
+  // value must survive onto the shared registry.
+  Telemetry t;
+  can.bind_telemetry(t);
+  EXPECT_EQ(t.metrics->counter_value("can.can0.frames_ok"), 1u);
+  EXPECT_EQ(can.stats().frames_ok, 1u);
+  a.send_frame(0x101, util::Bytes{0x02});
+  sched.run();
+  EXPECT_EQ(t.metrics->counter_value("can.can0.frames_ok"), 2u);
+}
+
+}  // namespace
+}  // namespace aseck::sim
