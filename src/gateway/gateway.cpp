@@ -5,6 +5,15 @@
 
 namespace aseck::gateway {
 
+const char* gateway_mode_name(GatewayMode m) {
+  switch (m) {
+    case GatewayMode::kNormal: return "normal";
+    case GatewayMode::kDegraded: return "degraded";
+    case GatewayMode::kLimpHome: return "limp_home";
+  }
+  return "?";
+}
+
 bool FirewallRule::matches(const std::string& from, const std::string& to,
                            const CanFrame& f) const {
   if (from_domain != "*" && from_domain != from) return false;
@@ -61,10 +70,20 @@ void SecurityGateway::wire_telemetry() {
   rewire(c_dropped_firewall_, "dropped_firewall");
   rewire(c_dropped_rate_, "dropped_rate");
   rewire(c_dropped_quarantine_, "dropped_quarantine");
+  rewire(c_dropped_link_down_, "dropped_link_down");
+  rewire(c_dropped_degraded_, "dropped_degraded");
   k_forward_ = trace_.kind("forward");
   k_drop_ = trace_.kind("drop");
   k_quarantine_ = trace_.kind("quarantine");
   k_release_ = trace_.kind("release");
+  k_mode_normal_ = trace_.kind("mode_normal");
+  k_mode_degraded_ = trace_.kind("mode_degraded");
+  k_mode_limp_ = trace_.kind("mode_limp_home");
+  k_link_up_ = trace_.kind("link_up");
+  k_link_down_ = trace_.kind("link_down");
+  for (auto& [dom, d] : domains_) {
+    metrics_->gauge(p + "mode." + dom).set(static_cast<double>(d.mode));
+  }
 }
 
 void SecurityGateway::bind_telemetry(const sim::Telemetry& t) {
@@ -81,10 +100,13 @@ GatewayStats SecurityGateway::stats() const {
   s.dropped_firewall = c_dropped_firewall_->value();
   s.dropped_rate = c_dropped_rate_->value();
   s.dropped_quarantine = c_dropped_quarantine_->value();
+  s.dropped_link_down = c_dropped_link_down_->value();
+  s.dropped_degraded = c_dropped_degraded_->value();
   return s;
 }
 
 SecurityGateway::~SecurityGateway() {
+  if (watch_bus_ && watch_token_) watch_bus_->unsubscribe(watch_token_);
   for (auto& [dom, d] : domains_) {
     if (d.bus && d.port) d.bus->detach(d.port.get());
   }
@@ -102,11 +124,11 @@ void SecurityGateway::add_domain(const std::string& domain, CanBus* bus) {
 }
 
 void SecurityGateway::add_route(std::uint32_t id, const std::string& from,
-                                const std::string& to) {
+                                const std::string& to, bool safety_critical) {
   if (!domains_.count(from) || !domains_.count(to)) {
     throw std::invalid_argument("SecurityGateway: route references unknown domain");
   }
-  routes_[id][from].push_back(to);
+  routes_[id][from].push_back(RouteDest{to, safety_critical});
 }
 
 void SecurityGateway::add_rule(FirewallRule rule) {
@@ -136,6 +158,89 @@ bool SecurityGateway::quarantined(const std::string& domain) const {
   return domains_.at(domain).quarantined;
 }
 
+void SecurityGateway::set_link_up(const std::string& domain, bool up) {
+  Domain& d = domains_.at(domain);
+  if (d.link_up == up) return;
+  d.link_up = up;
+  if (!up) ++d.fault_count;  // a partition is itself a fault signal
+  ASECK_TRACE(trace_, sched_.now(), up ? k_link_up_ : k_link_down_, domain);
+}
+
+bool SecurityGateway::link_up(const std::string& domain) const {
+  return domains_.at(domain).link_up;
+}
+
+GatewayMode SecurityGateway::mode(const std::string& domain) const {
+  return domains_.at(domain).mode;
+}
+
+void SecurityGateway::report_domain_fault(const std::string& domain,
+                                          std::uint32_t n) {
+  domains_.at(domain).fault_count += n;
+}
+
+void SecurityGateway::enable_degraded_mode(DegradedModeConfig cfg) {
+  if (cfg.window.ns == 0) {
+    throw std::invalid_argument("SecurityGateway: zero health window");
+  }
+  degraded_cfg_ = cfg;
+  health_task_ = std::make_unique<sim::PeriodicTask>(
+      sched_, cfg.window, [this] { health_tick(); }, cfg.window);
+}
+
+void SecurityGateway::set_mode(const std::string& name, Domain& d,
+                               GatewayMode m) {
+  if (d.mode == m) return;
+  d.mode = m;
+  const sim::TraceId k = m == GatewayMode::kNormal     ? k_mode_normal_
+                         : m == GatewayMode::kDegraded ? k_mode_degraded_
+                                                       : k_mode_limp_;
+  ASECK_TRACE(trace_, sched_.now(), k, name);
+  metrics_->gauge("gateway." + name_ + ".mode." + name)
+      .set(static_cast<double>(m));
+}
+
+void SecurityGateway::health_tick() {
+  for (auto& [dom, d] : domains_) {
+    const std::uint32_t n = d.fault_count;
+    d.fault_count = 0;
+    if (n >= degraded_cfg_.limp_threshold) {
+      d.calm_windows = 0;
+      set_mode(dom, d, GatewayMode::kLimpHome);
+    } else if (n >= degraded_cfg_.degrade_threshold) {
+      d.calm_windows = 0;
+      // Escalate to degraded; an already-limp domain stays limp until calm.
+      if (d.mode == GatewayMode::kNormal) set_mode(dom, d, GatewayMode::kDegraded);
+    } else if (d.mode != GatewayMode::kNormal) {
+      if (++d.calm_windows >= degraded_cfg_.healthy_windows) {
+        d.calm_windows = 0;
+        set_mode(dom, d,
+                 d.mode == GatewayMode::kLimpHome ? GatewayMode::kDegraded
+                                                  : GatewayMode::kNormal);
+      }
+    }
+  }
+}
+
+void SecurityGateway::enable_bus_fault_watch(const sim::Telemetry& t) {
+  if (watch_bus_ && watch_token_) watch_bus_->unsubscribe(watch_token_);
+  watch_bus_ = t.bus;
+  watch_domains_.clear();
+  for (auto& [dom, d] : domains_) {
+    if (d.bus) watch_domains_[t.bus->intern(d.bus->name())] = dom;
+  }
+  k_watch_tx_error_ = t.bus->intern("tx_error");
+  k_watch_bus_off_ = t.bus->intern("bus_off");
+  watch_token_ = t.bus->subscribe([this](const sim::TraceEvent& e) {
+    if (e.kind != k_watch_tx_error_ && e.kind != k_watch_bus_off_) return;
+    const auto it = watch_domains_.find(e.component);
+    if (it == watch_domains_.end()) return;
+    // Bus-off is a much stronger degradation signal than one TX error.
+    domains_.at(it->second).fault_count +=
+        e.kind == k_watch_bus_off_ ? 10 : 1;
+  });
+}
+
 void SecurityGateway::drop(const std::string& domain, const CanFrame& frame,
                            DropReason r) {
   switch (r) {
@@ -144,6 +249,8 @@ void SecurityGateway::drop(const std::string& domain, const CanFrame& frame,
     case DropReason::kPayloadRule: c_dropped_firewall_->inc(); break;
     case DropReason::kRateLimited: c_dropped_rate_->inc(); break;
     case DropReason::kQuarantined: c_dropped_quarantine_->inc(); break;
+    case DropReason::kLinkDown: c_dropped_link_down_->inc(); break;
+    case DropReason::kDegradedShed: c_dropped_degraded_->inc(); break;
   }
   ASECK_TRACE(trace_, sched_.now(), k_drop_,
               domain + " id=" + std::to_string(frame.id));
@@ -156,6 +263,11 @@ void SecurityGateway::on_domain_frame(const std::string& domain,
   Domain& src = domains_.at(domain);
   if (src.quarantined) {
     drop(domain, frame, DropReason::kQuarantined);
+    return;
+  }
+  if (!src.link_up) {
+    ++src.fault_count;
+    drop(domain, frame, DropReason::kLinkDown);
     return;
   }
 
@@ -185,10 +297,24 @@ void SecurityGateway::on_domain_frame(const std::string& domain,
     return;
   }
 
-  for (const std::string& to : dit->second) {
+  for (const RouteDest& rd : dit->second) {
+    const std::string& to = rd.to;
     Domain& dst = domains_.at(to);
     if (dst.quarantined) {
       drop(domain, frame, DropReason::kQuarantined);
+      continue;
+    }
+    if (!dst.link_up) {
+      ++dst.fault_count;
+      drop(domain, frame, DropReason::kLinkDown);
+      continue;
+    }
+    // Graceful degradation: a degraded source domain sheds its non-critical
+    // outbound routes; a limp-home domain sheds non-critical routes in both
+    // directions. Safety-critical routes always survive.
+    if (!rd.critical && (src.mode != GatewayMode::kNormal ||
+                         dst.mode == GatewayMode::kLimpHome)) {
+      drop(domain, frame, DropReason::kDegradedShed);
       continue;
     }
     // Firewall: first matching rule wins; routed traffic defaults to allow.

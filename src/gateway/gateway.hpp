@@ -35,6 +35,24 @@ enum class DropReason {
   kRateLimited,
   kQuarantined,
   kPayloadRule,
+  kLinkDown,      // source or destination domain link is partitioned
+  kDegradedShed,  // non-safety-critical route shed in degraded/limp mode
+};
+
+/// Graceful-degradation state of a domain (paper §7: a gateway under attack
+/// or fault pressure sheds load instead of failing open or failing silent).
+enum class GatewayMode { kNormal, kDegraded, kLimpHome };
+const char* gateway_mode_name(GatewayMode m);
+
+/// Health-tick policy for automatic mode transitions. Every `window`, each
+/// domain's fault count (reported faults + link-down drops + watched bus
+/// errors) is compared against the thresholds; `healthy_windows` consecutive
+/// calm windows step the mode back down one level.
+struct DegradedModeConfig {
+  SimTime window = SimTime::from_ms(500);
+  std::uint32_t degrade_threshold = 20;  // faults/window -> kDegraded
+  std::uint32_t limp_threshold = 60;     // faults/window -> kLimpHome
+  std::uint32_t healthy_windows = 2;
 };
 
 /// Firewall rule: matches a frame by source domain, destination domain, and
@@ -65,9 +83,11 @@ struct GatewayStats {
   std::uint64_t dropped_firewall = 0;
   std::uint64_t dropped_rate = 0;
   std::uint64_t dropped_quarantine = 0;
+  std::uint64_t dropped_link_down = 0;
+  std::uint64_t dropped_degraded = 0;
   std::uint64_t total_drops() const {
     return dropped_no_route + dropped_firewall + dropped_rate +
-           dropped_quarantine;
+           dropped_quarantine + dropped_link_down + dropped_degraded;
   }
 };
 
@@ -85,8 +105,10 @@ class SecurityGateway {
   void add_domain(const std::string& domain, CanBus* bus);
 
   /// Adds a route: frames with `id` arriving from `from` are forwarded to
-  /// `to` (subject to firewall/rate/quarantine checks).
-  void add_route(std::uint32_t id, const std::string& from, const std::string& to);
+  /// `to` (subject to firewall/rate/quarantine checks). Safety-critical
+  /// routes survive degraded/limp-home mode; others are shed.
+  void add_route(std::uint32_t id, const std::string& from,
+                 const std::string& to, bool safety_critical = false);
 
   /// Appends a firewall rule (first match wins; default = allow if routed).
   void add_rule(FirewallRule rule);
@@ -100,6 +122,22 @@ class SecurityGateway {
   /// Quarantines / releases a domain.
   void quarantine(const std::string& domain, bool on = true);
   bool quarantined(const std::string& domain) const;
+
+  /// Marks a domain link physically up/down (partition fault). Frames from
+  /// or to a down domain are dropped (kLinkDown) and count as domain faults.
+  void set_link_up(const std::string& domain, bool up);
+  bool link_up(const std::string& domain) const;
+
+  /// Starts the periodic health tick driving per-domain mode transitions.
+  void enable_degraded_mode(DegradedModeConfig cfg = {});
+  GatewayMode mode(const std::string& domain) const;
+  /// Feeds the health counter directly (IDS verdicts, substrate callbacks).
+  void report_domain_fault(const std::string& domain, std::uint32_t n = 1);
+
+  /// Subscribes to a shared TraceBus and counts "tx_error"/"bus_off" events
+  /// from attached domain buses as domain faults (bus_off weighs 10). Call
+  /// after add_domain() and after the buses are bound to the same telemetry.
+  void enable_bus_fault_watch(const sim::Telemetry& t);
 
   /// Snapshot materialized from the metrics registry (compat accessor).
   GatewayStats stats() const;
@@ -126,10 +164,14 @@ class SecurityGateway {
     bool admit(SimTime now);
   };
 
+  struct Domain;
+
   void on_domain_frame(const std::string& domain, const CanFrame& frame,
                        SimTime at);
   void drop(const std::string& domain, const CanFrame& frame, DropReason r);
   void wire_telemetry();
+  void health_tick();
+  void set_mode(const std::string& name, Domain& d, GatewayMode m);
 
   Scheduler& sched_;
   std::string name_;
@@ -139,10 +181,18 @@ class SecurityGateway {
     std::unique_ptr<Port> port;
     bool quarantined = false;
     std::optional<RateLimit> domain_limit;
+    bool link_up = true;
+    GatewayMode mode = GatewayMode::kNormal;
+    std::uint32_t fault_count = 0;   // faults in the current health window
+    std::uint32_t calm_windows = 0;  // consecutive windows under threshold
   };
   std::map<std::string, Domain> domains_;
+  struct RouteDest {
+    std::string to;
+    bool critical = false;
+  };
   // id -> (from domain -> list of destination domains)
-  std::map<std::uint32_t, std::map<std::string, std::vector<std::string>>> routes_;
+  std::map<std::uint32_t, std::map<std::string, std::vector<RouteDest>>> routes_;
   std::vector<FirewallRule> rules_;
   std::map<std::string, std::map<std::uint32_t, Flow>> flows_;
   sim::TraceScope trace_;
@@ -152,8 +202,20 @@ class SecurityGateway {
   sim::Counter* c_dropped_firewall_ = nullptr;
   sim::Counter* c_dropped_rate_ = nullptr;
   sim::Counter* c_dropped_quarantine_ = nullptr;
-  sim::TraceId k_forward_ = 0, k_drop_ = 0, k_quarantine_ = 0, k_release_ = 0;
+  sim::Counter* c_dropped_link_down_ = nullptr;
+  sim::Counter* c_dropped_degraded_ = nullptr;
+  sim::TraceId k_forward_ = 0, k_drop_ = 0, k_quarantine_ = 0, k_release_ = 0,
+               k_mode_normal_ = 0, k_mode_degraded_ = 0, k_mode_limp_ = 0,
+               k_link_up_ = 0, k_link_down_ = 0;
   DropObserver drop_observer_;
+  DegradedModeConfig degraded_cfg_;
+  std::unique_ptr<sim::PeriodicTask> health_task_;
+  // Bus-fault watch state: shared bus, live-tap token, and the mapping from
+  // interned bus-component ids to domain names.
+  std::shared_ptr<sim::TraceBus> watch_bus_;
+  std::uint64_t watch_token_ = 0;
+  sim::TraceId k_watch_tx_error_ = 0, k_watch_bus_off_ = 0;
+  std::map<sim::TraceId, std::string> watch_domains_;
 };
 
 }  // namespace aseck::gateway

@@ -132,12 +132,16 @@ void CanBus::wire_telemetry() {
   rewire(c_frames_error_, "frames_error");
   rewire(c_bits_on_wire_, "bits_on_wire");
   rewire(c_busy_ns_, "busy_ns");
+  rewire(c_frames_dropped_fault_, "frames_dropped_fault");
+  rewire(c_frames_duplicated_, "frames_duplicated");
   k_tx_ = trace_.kind("tx");
   k_tx_start_ = trace_.kind("tx_start");
   k_tx_error_ = trace_.kind("tx_error");
   k_tx_error_start_ = trace_.kind("tx_error_start");
   k_bus_off_ = trace_.kind("bus_off");
   k_recover_ = trace_.kind("recover");
+  k_fault_drop_ = trace_.kind("fault_drop");
+  k_fault_dup_ = trace_.kind("fault_dup");
 }
 
 void CanBus::bind_telemetry(const sim::Telemetry& t) {
@@ -163,6 +167,11 @@ void CanBus::attach(CanNode* node) {
 }
 
 void CanBus::detach(CanNode* node) {
+  const auto it = recovery_timers_.find(node);
+  if (it != recovery_timers_.end()) {
+    sched_.cancel(it->second);
+    recovery_timers_.erase(it);
+  }
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
 }
 
@@ -195,6 +204,10 @@ std::size_t CanBus::pending() const {
 
 void CanBus::try_start_tx() {
   if (busy_) return;
+  // Whole-bus fault window (harness-injected transceiver/wiring outage):
+  // nothing transmits; queued frames resume on the next send after the
+  // window clears.
+  if (fault_port_ && fault_port_->down()) return;
   // Arbitration: among all nodes with pending frames, the lowest ID wins.
   // Extended IDs lose to base IDs with the same leading bits; comparing the
   // numeric ID with the extended flag as tie-break captures the priority
@@ -213,19 +226,32 @@ void CanBus::try_start_tx() {
     }
   }
   if (!winner) return;
+  // Injected frame loss: the frame vanishes before arbitration completes
+  // (models a wiring glitch eating the frame without an error flag).
+  if (fault_port_ && fault_port_->roll_drop()) {
+    winner->tx_queue_.pop_front();
+    c_frames_dropped_fault_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_fault_drop_, winner->name());
+    try_start_tx();
+    return;
+  }
   busy_ = true;
   const CanFrame frame = winner->tx_queue_.front();
   const SimTime duration = frame_time(frame);
-  const bool errored = error_injector_ && error_injector_(frame, *winner);
+  const bool errored = (error_injector_ && error_injector_(frame, *winner)) ||
+                       (fault_port_ && fault_port_->roll_corrupt());
   ASECK_TRACE(trace_, sched_.now(), errored ? k_tx_error_start_ : k_tx_start_,
               winner->name());
   // An errored frame aborts after the error flag (~ error flag + delimiter +
   // IFS ~= 17 bits); model as a fixed fraction of the frame.
-  const SimTime busy_for =
+  SimTime busy_for =
       errored ? SimTime::from_seconds_f(
                     static_cast<double>(frame.wire_bits(nullptr) / 4 + 17) /
                     static_cast<double>(bitrate_))
               : duration;
+  // Injected delay: the medium is disturbed (retransmission-after-noise),
+  // holding the bus longer and delivering the frame late.
+  if (fault_port_) busy_for += fault_port_->roll_delay();
   c_busy_ns_->inc(busy_for.ns);
   c_bits_on_wire_->inc(frame.wire_bits(nullptr));
   sched_.schedule_in(busy_for, [this, winner, frame, errored] {
@@ -260,6 +286,17 @@ void CanBus::finish_tx(CanNode* node, const CanFrame& frame, bool errored) {
       }
     }
     node->on_tx_done(frame, at);
+    // Injected duplicate: receivers see the frame a second time (replay /
+    // echo on the wire) — the attack primitive replay detectors train on.
+    if (fault_port_ && fault_port_->roll_duplicate()) {
+      c_frames_duplicated_->inc();
+      ASECK_TRACE(trace_, sched_.now(), k_fault_dup_, node->name());
+      for (CanNode* rx : nodes_) {
+        if (rx != node && rx->state_ != CanNodeState::kBusOff) {
+          rx->on_frame(frame, at);
+        }
+      }
+    }
   }
   try_start_tx();
 }
@@ -270,16 +307,31 @@ void CanBus::bump_tx_error(CanNode* node) {
     node->state_ = CanNodeState::kBusOff;
     ASECK_TRACE(trace_, sched_.now(), k_bus_off_, node->name());
     node->on_bus_off(sched_.now());
+    // Automatic recovery: after the configured delay (standing in for the
+    // 128x11-recessive-bit sequence plus host policy) the node rejoins.
+    if (auto_recovery_.ns != 0 && !recovery_timers_.count(node)) {
+      recovery_timers_[node] =
+          sched_.schedule_after(auto_recovery_, [this, node] {
+            recovery_timers_.erase(node);
+            if (node->state_ == CanNodeState::kBusOff) recover(node);
+          });
+    }
   } else if (node->tec_ > 127) {
     node->state_ = CanNodeState::kErrorPassive;
   }
 }
 
 void CanBus::recover(CanNode* node) {
+  const auto it = recovery_timers_.find(node);
+  if (it != recovery_timers_.end()) {
+    sched_.cancel(it->second);
+    recovery_timers_.erase(it);
+  }
   node->tec_ = 0;
   node->rec_ = 0;
   node->state_ = CanNodeState::kErrorActive;
   ASECK_TRACE(trace_, sched_.now(), k_recover_, node->name());
+  try_start_tx();
 }
 
 }  // namespace aseck::ivn

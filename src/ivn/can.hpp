@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
@@ -137,12 +138,23 @@ class CanBus {
     error_injector_ = std::move(injector);
   }
 
+  /// Attaches a fault-injection port (sim::FaultPlan). Per-frame drop,
+  /// corrupt, delay, and duplicate faults plus whole-bus down windows are
+  /// consulted on the TX path. nullptr detaches.
+  void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
+
   /// Time to serialize `frame` on this bus.
   SimTime frame_time(const CanFrame& frame) const;
 
   /// Clears a node's bus-off state (models the 128x11-recessive-bit recovery
   /// plus host intervention).
   void recover(CanNode* node);
+
+  /// Enables automatic bus-off recovery: `delay` after a node enters
+  /// kBusOff, a scheduler-driven timer calls recover() for it (zero
+  /// disables; manual recover() still works and cancels the timer).
+  void set_auto_recovery(SimTime delay) { auto_recovery_ = delay; }
+  SimTime auto_recovery() const { return auto_recovery_; }
 
  private:
   void try_start_tx();
@@ -162,9 +174,15 @@ class CanBus {
   sim::Counter* c_frames_error_ = nullptr;
   sim::Counter* c_bits_on_wire_ = nullptr;
   sim::Counter* c_busy_ns_ = nullptr;
+  sim::Counter* c_frames_dropped_fault_ = nullptr;
+  sim::Counter* c_frames_duplicated_ = nullptr;
   sim::TraceId k_tx_ = 0, k_tx_start_ = 0, k_tx_error_ = 0,
-               k_tx_error_start_ = 0, k_bus_off_ = 0, k_recover_ = 0;
+               k_tx_error_start_ = 0, k_bus_off_ = 0, k_recover_ = 0,
+               k_fault_drop_ = 0, k_fault_dup_ = 0;
   ErrorInjector error_injector_;
+  sim::FaultPort* fault_port_ = nullptr;
+  SimTime auto_recovery_ = SimTime::zero();
+  std::map<CanNode*, sim::EventId> recovery_timers_;
 };
 
 }  // namespace aseck::ivn

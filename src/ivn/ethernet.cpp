@@ -66,10 +66,16 @@ void EthernetSwitch::wire_telemetry() {
   rewire(c_dropped_vlan_, "dropped_vlan");
   rewire(c_dropped_port_down_, "dropped_port_down");
   rewire(c_flooded_, "flooded");
+  rewire(c_dropped_fault_, "dropped_fault");
+  rewire(c_corrupted_fault_, "corrupted_fault");
+  rewire(c_duplicated_fault_, "duplicated_fault");
   k_port_up_ = trace_.kind("port_up");
   k_port_down_ = trace_.kind("port_down");
   k_drop_vlan_ = trace_.kind("drop_vlan");
   k_drop_policed_ = trace_.kind("drop_policed");
+  k_fault_drop_ = trace_.kind("fault_drop");
+  k_fault_corrupt_ = trace_.kind("fault_corrupt");
+  k_fault_dup_ = trace_.kind("fault_dup");
 }
 
 void EthernetSwitch::bind_telemetry(const sim::Telemetry& t) {
@@ -131,15 +137,30 @@ bool EthernetSwitch::send(std::size_t port, EthernetFrame frame) {
                 "port=" + std::to_string(port));
     return false;
   }
+  if (fault_port_ && (fault_port_->down() || fault_port_->roll_drop())) {
+    c_dropped_fault_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_fault_drop_,
+                "port=" + std::to_string(port));
+    return false;
+  }
+  if (fault_port_ && fault_port_->roll_corrupt() && !frame.payload.empty()) {
+    frame.payload[0] = static_cast<std::uint8_t>(frame.payload[0] ^ 0xff);
+    c_corrupted_fault_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_fault_corrupt_,
+                "port=" + std::to_string(port));
+  }
   // Learn source MAC.
   fdb_[mac_key(frame.src)] = port;
 
-  // Store-and-forward latency: ingress serialization + processing.
-  const SimTime latency =
+  // Store-and-forward latency: ingress serialization + processing (+ any
+  // injected queueing delay).
+  SimTime latency =
       SimTime::from_seconds_f(static_cast<double>(frame.wire_bytes() * 8) /
                               static_cast<double>(link_bps_)) +
       processing_delay_;
-  sched_.schedule_in(latency, [this, port, frame = std::move(frame)] {
+  if (fault_port_) latency += fault_port_->roll_delay();
+  const bool duplicate = fault_port_ && fault_port_->roll_duplicate();
+  auto forward = [this, port, frame = std::move(frame)] {
     const auto it = fdb_.find(mac_key(frame.dst));
     if (frame.dst != kBroadcastMac && it != fdb_.end() && it->second != port) {
       deliver(it->second, frame);
@@ -149,7 +170,14 @@ bool EthernetSwitch::send(std::size_t port, EthernetFrame frame) {
         if (p != port) deliver(p, frame);
       }
     }
-  });
+  };
+  if (duplicate) {
+    c_duplicated_fault_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_fault_dup_,
+                "port=" + std::to_string(port));
+    sched_.schedule_in(latency, forward);
+  }
+  sched_.schedule_in(latency, std::move(forward));
   return true;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
@@ -96,7 +97,17 @@ class EthernetSwitch {
   std::uint64_t dropped_vlan() const { return c_dropped_vlan_->value(); }
   std::uint64_t dropped_port_down() const { return c_dropped_port_down_->value(); }
   std::uint64_t flooded() const { return c_flooded_->value(); }
+  /// Frames lost / mangled / cloned by injected faults.
+  std::uint64_t dropped_fault() const { return c_dropped_fault_->value(); }
+  std::uint64_t corrupted_fault() const { return c_corrupted_fault_->value(); }
+  std::uint64_t duplicated_fault() const { return c_duplicated_fault_->value(); }
   sim::TraceScope& trace() { return trace_; }
+
+  /// Attaches a fault-injection port (sim::FaultPlan). Drop faults and
+  /// link-down windows discard at ingress, corrupt faults flip a payload
+  /// byte, delay faults stretch store-and-forward latency, duplicate faults
+  /// forward the frame twice.
+  void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
 
   /// Rebinds trace events and counters onto a shared telemetry plane.
   void bind_telemetry(const sim::Telemetry& t);
@@ -129,8 +140,13 @@ class EthernetSwitch {
   sim::Counter* c_dropped_vlan_ = nullptr;
   sim::Counter* c_dropped_port_down_ = nullptr;
   sim::Counter* c_flooded_ = nullptr;
+  sim::Counter* c_dropped_fault_ = nullptr;
+  sim::Counter* c_corrupted_fault_ = nullptr;
+  sim::Counter* c_duplicated_fault_ = nullptr;
   sim::TraceId k_port_up_ = 0, k_port_down_ = 0, k_drop_vlan_ = 0,
-               k_drop_policed_ = 0;
+               k_drop_policed_ = 0, k_fault_drop_ = 0, k_fault_corrupt_ = 0,
+               k_fault_dup_ = 0;
+  sim::FaultPort* fault_port_ = nullptr;
 };
 
 }  // namespace aseck::ivn

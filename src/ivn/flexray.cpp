@@ -28,8 +28,10 @@ void FlexRayBus::wire_telemetry() {
   rewire(c_null_frames_, "null_frames");
   rewire(c_dynamic_frames_, "dynamic_frames");
   rewire(c_dynamic_dropped_, "dynamic_dropped");
+  rewire(c_dropped_fault_, "dropped_fault");
   k_static_ = trace_.kind("static");
   k_dynamic_ = trace_.kind("dynamic");
+  k_fault_drop_ = trace_.kind("fault_drop");
 }
 
 void FlexRayBus::bind_telemetry(const sim::Telemetry& t) {
@@ -89,6 +91,13 @@ void FlexRayBus::run_cycle() {
       frame.slot_id = slot;
       frame.cycle = cyc;
       if (payload) {
+        if (fault_port_ && (fault_port_->down() || fault_port_->roll_drop())) {
+          // Injected fault: frame lost, TDMA slot still consumed.
+          c_dropped_fault_->inc();
+          ASECK_TRACE(trace_, sched_.now(), k_fault_drop_,
+                      "slot=" + std::to_string(slot));
+          return;
+        }
         frame.payload = std::move(*payload);
         c_static_frames_->inc();
         ASECK_TRACE(trace_, sched_.now(), k_static_,
@@ -131,6 +140,12 @@ void FlexRayBus::run_cycle() {
     FlexRayNode* from = e.from;
     c_dynamic_frames_->inc();
     sched_.schedule_at(at, [this, frame = std::move(frame), from] {
+      if (fault_port_ && (fault_port_->down() || fault_port_->roll_drop())) {
+        c_dropped_fault_->inc();
+        ASECK_TRACE(trace_, sched_.now(), k_fault_drop_,
+                    "slot=" + std::to_string(frame.slot_id));
+        return;
+      }
       ASECK_TRACE(trace_, sched_.now(), k_dynamic_,
                   "slot=" + std::to_string(frame.slot_id));
       for (FlexRayNode* l : listeners_) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
@@ -86,8 +87,15 @@ class FlexRayBus {
   std::uint64_t null_frames() const { return c_null_frames_->value(); }
   std::uint64_t dynamic_frames() const { return c_dynamic_frames_->value(); }
   std::uint64_t dynamic_dropped() const { return c_dynamic_dropped_->value(); }
+  /// Frames lost to injected faults (slot still consumed, as on a real bus
+  /// where a corrupted frame burns its TDMA slot).
+  std::uint64_t dropped_fault() const { return c_dropped_fault_->value(); }
   const FlexRayConfig& config() const { return cfg_; }
   sim::TraceScope& trace() { return trace_; }
+
+  /// Attaches a fault-injection port (sim::FaultPlan): drop faults and
+  /// bus-down windows lose static/dynamic frames in their slots.
+  void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
 
   /// Rebinds trace events and counters onto a shared telemetry plane.
   void bind_telemetry(const sim::Telemetry& t);
@@ -115,7 +123,9 @@ class FlexRayBus {
   sim::Counter* c_null_frames_ = nullptr;
   sim::Counter* c_dynamic_frames_ = nullptr;
   sim::Counter* c_dynamic_dropped_ = nullptr;
-  sim::TraceId k_static_ = 0, k_dynamic_ = 0;
+  sim::Counter* c_dropped_fault_ = nullptr;
+  sim::TraceId k_static_ = 0, k_dynamic_ = 0, k_fault_drop_ = 0;
+  sim::FaultPort* fault_port_ = nullptr;
 };
 
 }  // namespace aseck::ivn

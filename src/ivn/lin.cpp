@@ -42,9 +42,11 @@ void LinMaster::wire_telemetry() {
   rewire(c_frames_ok_, "frames_ok");
   rewire(c_no_response_, "no_response");
   rewire(c_checksum_errors_, "checksum_errors");
+  rewire(c_dropped_fault_, "dropped_fault");
   k_frame_ = trace_.kind("frame");
   k_no_response_ = trace_.kind("no_response");
   k_checksum_error_ = trace_.kind("checksum_error");
+  k_fault_drop_ = trace_.kind("fault_drop");
 }
 
 void LinMaster::bind_telemetry(const sim::Telemetry& t) {
@@ -90,12 +92,21 @@ void LinMaster::run_slot(std::size_t index) {
     c_no_response_->inc();
     ASECK_TRACE(trace_, sched_.now(), k_no_response_,
                 "id=" + std::to_string(slot.id));
+  } else if (fault_port_ && (fault_port_->down() || fault_port_->roll_drop())) {
+    // Injected fault: the response is lost on the wire.
+    c_dropped_fault_->inc();
+    ASECK_TRACE(trace_, sched_.now(), k_fault_drop_,
+                "id=" + std::to_string(slot.id));
   } else {
     LinFrame frame{slot.id, *response, true};
     const std::uint8_t expected =
         lin_checksum(pid, frame.data, frame.enhanced_checksum);
     bool corrupted = false;
     if (corruptor_) corrupted = corruptor_(frame.data);
+    if (fault_port_ && fault_port_->roll_corrupt() && !frame.data.empty()) {
+      frame.data[0] = static_cast<std::uint8_t>(frame.data[0] ^ 0xff);
+      corrupted = true;
+    }
     const std::uint8_t actual =
         lin_checksum(pid, frame.data, frame.enhanced_checksum);
     if (corrupted && actual != expected) {

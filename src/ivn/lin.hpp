@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
@@ -79,6 +80,13 @@ class LinMaster {
   using Corruptor = std::function<bool(util::Bytes&)>;
   void set_corruptor(Corruptor c) { corruptor_ = std::move(c); }
 
+  /// Attaches a fault-injection port (sim::FaultPlan): drop faults and
+  /// bus-down windows lose the response (counted separately from
+  /// no_response), corrupt faults flip payload bits into the checksum path.
+  void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
+  /// Responses lost to injected faults.
+  std::uint64_t dropped_fault() const { return c_dropped_fault_->value(); }
+
   sim::TraceScope& trace() { return trace_; }
 
   /// Rebinds trace events and counters onto a shared telemetry plane.
@@ -100,7 +108,10 @@ class LinMaster {
   sim::Counter* c_frames_ok_ = nullptr;
   sim::Counter* c_no_response_ = nullptr;
   sim::Counter* c_checksum_errors_ = nullptr;
-  sim::TraceId k_frame_ = 0, k_no_response_ = 0, k_checksum_error_ = 0;
+  sim::Counter* c_dropped_fault_ = nullptr;
+  sim::TraceId k_frame_ = 0, k_no_response_ = 0, k_checksum_error_ = 0,
+               k_fault_drop_ = 0;
+  sim::FaultPort* fault_port_ = nullptr;
 };
 
 }  // namespace aseck::ivn

@@ -1,5 +1,8 @@
 #include "ota/client.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace aseck::ota {
 
 const char* ota_error_name(OtaError e) {
@@ -24,6 +27,7 @@ const char* ota_error_name(OtaError e) {
     case OtaError::kHardwareMismatch: return "hardware_mismatch";
     case OtaError::kImageRollback: return "image_rollback";
     case OtaError::kDownloadFailed: return "download_failed";
+    case OtaError::kRetriesExhausted: return "retries_exhausted";
   }
   return "?";
 }
@@ -48,8 +52,16 @@ void FullVerificationClient::wire_telemetry() {
   };
   rewire(c_verify_ok_, "verify_ok");
   rewire(c_verify_fail_, "verify_fail");
+  rewire(c_fetch_attempts_, "fetch_attempts");
+  rewire(c_fetch_retries_, "fetch_retries");
+  rewire(c_bytes_fetched_, "bytes_fetched");
   k_verify_ok_ = trace_.kind("verify_ok");
   k_verify_fail_ = trace_.kind("verify_fail");
+  k_fetch_attempt_ = trace_.kind("fetch_attempt");
+  k_fetch_resume_ = trace_.kind("fetch_resume");
+  k_fetch_interrupted_ = trace_.kind("fetch_interrupted");
+  k_backoff_ = trace_.kind("backoff");
+  k_retries_exhausted_ = trace_.kind("retries_exhausted");
 }
 
 void FullVerificationClient::bind_telemetry(const sim::Telemetry& t) {
@@ -152,39 +164,41 @@ FullVerificationClient::Outcome FullVerificationClient::fetch_and_verify(
   return out;
 }
 
+OtaError FullVerificationClient::resolve_target(
+    const MetadataBundle& director, const MetadataBundle& image_repo,
+    const std::string& image_name, const std::string& hardware_id,
+    std::uint32_t installed_version, SimTime now, TargetInfo* out_info) {
+  const TargetsMeta* dir_targets = nullptr;
+  const TargetsMeta* img_targets = nullptr;
+  OtaError err = verify_repo(director, director_, now, &dir_targets);
+  if (err != OtaError::kOk) return err;
+  err = verify_repo(image_repo, image_, now, &img_targets);
+  if (err != OtaError::kOk) return err;
+
+  const auto dit = dir_targets->targets.find(image_name);
+  const auto iit = img_targets->targets.find(image_name);
+  if (dit == dir_targets->targets.end() || iit == img_targets->targets.end()) {
+    return OtaError::kTargetUnknown;
+  }
+  // Director and image repo must agree exactly (anti mix-and-match).
+  if (!(dit->second == iit->second)) return OtaError::kReposDisagree;
+  const TargetInfo& info = dit->second;
+  if (info.hardware_id != hardware_id) return OtaError::kHardwareMismatch;
+  if (info.version < installed_version) return OtaError::kImageRollback;
+  if (out_info) *out_info = info;
+  return OtaError::kOk;
+}
+
 FullVerificationClient::Outcome FullVerificationClient::fetch_and_verify_inner(
     const MetadataBundle& director, const MetadataBundle& image_repo,
     const Repository& director_repo, const Repository& image_repo_store,
     const std::string& image_name, const std::string& hardware_id,
     std::uint32_t installed_version, SimTime now) {
   Outcome out;
-  const TargetsMeta* dir_targets = nullptr;
-  const TargetsMeta* img_targets = nullptr;
-  out.error = verify_repo(director, director_, now, &dir_targets);
+  TargetInfo info;
+  out.error = resolve_target(director, image_repo, image_name, hardware_id,
+                             installed_version, now, &info);
   if (out.error != OtaError::kOk) return out;
-  out.error = verify_repo(image_repo, image_, now, &img_targets);
-  if (out.error != OtaError::kOk) return out;
-
-  const auto dit = dir_targets->targets.find(image_name);
-  const auto iit = img_targets->targets.find(image_name);
-  if (dit == dir_targets->targets.end() || iit == img_targets->targets.end()) {
-    out.error = OtaError::kTargetUnknown;
-    return out;
-  }
-  // Director and image repo must agree exactly (anti mix-and-match).
-  if (!(dit->second == iit->second)) {
-    out.error = OtaError::kReposDisagree;
-    return out;
-  }
-  const TargetInfo& info = dit->second;
-  if (info.hardware_id != hardware_id) {
-    out.error = OtaError::kHardwareMismatch;
-    return out;
-  }
-  if (info.version < installed_version) {
-    out.error = OtaError::kImageRollback;
-    return out;
-  }
   // Download preferentially from the image repo; director may also serve.
   const util::Bytes* image = image_repo_store.download(image_name);
   if (!image) image = director_repo.download(image_name);
@@ -204,6 +218,175 @@ FullVerificationClient::Outcome FullVerificationClient::fetch_and_verify_inner(
   out.image = *image;
   out.error = OtaError::kOk;
   return out;
+}
+
+// --- retrying resumable fetch ------------------------------------------------
+
+struct FullVerificationClient::RetryState {
+  sim::Scheduler* sched = nullptr;
+  const Repository* director = nullptr;
+  const Repository* image_repo = nullptr;
+  std::string image_name;
+  std::string hardware_id;
+  std::uint32_t installed_version = 0;
+  RetryPolicy policy;
+  RetryCallback done;
+  int attempt = 0;
+  TargetInfo info;          // resolved target of the current attempt
+  util::Bytes buffer;       // bytes fetched so far
+  std::size_t offset = 0;   // == buffer.size(); survives failed attempts
+  std::size_t resumed_from = 0;
+};
+
+void FullVerificationClient::fetch_and_verify_with_retry(
+    sim::Scheduler& sched, const Repository& director_repo,
+    const Repository& image_repo, const std::string& image_name,
+    const std::string& hardware_id, std::uint32_t installed_version,
+    RetryPolicy policy, RetryCallback done) {
+  auto st = std::make_shared<RetryState>();
+  st->sched = &sched;
+  st->director = &director_repo;
+  st->image_repo = &image_repo;
+  st->image_name = image_name;
+  st->hardware_id = hardware_id;
+  st->installed_version = installed_version;
+  st->policy = policy;
+  st->done = std::move(done);
+  sched.schedule_after(SimTime::zero(), [this, st] { retry_attempt(st); });
+}
+
+void FullVerificationClient::retry_attempt(
+    const std::shared_ptr<RetryState>& st) {
+  ++st->attempt;
+  c_fetch_attempts_->inc();
+  const SimTime now = st->sched->now();
+  ASECK_TRACE(trace_, now, k_fetch_attempt_,
+              "n=" + std::to_string(st->attempt) + " image=" + st->image_name);
+  if (!st->director->available() || !st->image_repo->available()) {
+    ASECK_TRACE(trace_, now, k_fetch_interrupted_, "repo_unavailable");
+    retry_fail_transport(st);
+    return;
+  }
+  TargetInfo info;
+  const OtaError err = resolve_target(
+      st->director->metadata(), st->image_repo->metadata(), st->image_name,
+      st->hardware_id, st->installed_version, now, &info);
+  if (err != OtaError::kOk) {
+    // Metadata failures are final: a retry cannot fix a bad signature,
+    // rollback, or repo disagreement.
+    Outcome out;
+    out.error = err;
+    retry_finish(st, std::move(out));
+    return;
+  }
+  if (st->offset > 0 &&
+      (info.sha256 != st->info.sha256 || info.length != st->info.length)) {
+    // The target changed between attempts; a partial download of the old
+    // bytes is useless.
+    st->offset = 0;
+    st->buffer.clear();
+  }
+  st->info = info;
+  st->resumed_from = st->offset;
+  if (st->offset > 0) {
+    ASECK_TRACE(trace_, now, k_fetch_resume_,
+                "offset=" + std::to_string(st->offset));
+  }
+  retry_fetch_chunk(st);
+}
+
+void FullVerificationClient::retry_fetch_chunk(
+    const std::shared_ptr<RetryState>& st) {
+  const SimTime now = st->sched->now();
+  if (st->offset >= st->info.length) {
+    Outcome out;
+    if (st->buffer.size() != st->info.length) {
+      out.error = OtaError::kImageLengthMismatch;
+      retry_finish(st, std::move(out));
+      return;
+    }
+    if (crypto::sha256_bytes(st->buffer) != st->info.sha256) {
+      // Bytes changed under us mid-download (repo republished); restart the
+      // download on the next attempt.
+      st->offset = 0;
+      st->buffer.clear();
+      ASECK_TRACE(trace_, now, k_fetch_interrupted_, "hash_mismatch_restart");
+      retry_fail_transport(st);
+      return;
+    }
+    out.target = st->info;
+    out.image = st->buffer;
+    out.error = OtaError::kOk;
+    retry_finish(st, std::move(out));
+    return;
+  }
+  // Image repo is the primary mirror; the director may also serve bytes.
+  auto chunk = st->image_repo->download_range(st->image_name, st->offset,
+                                              st->policy.chunk_bytes);
+  if (!chunk) {
+    chunk = st->director->download_range(st->image_name, st->offset,
+                                         st->policy.chunk_bytes);
+  }
+  if (!chunk) {
+    ASECK_TRACE(trace_, now, k_fetch_interrupted_,
+                "offset=" + std::to_string(st->offset));
+    retry_fail_transport(st);
+    return;
+  }
+  if (chunk->empty()) {
+    // Stored image is shorter than the metadata claims.
+    Outcome out;
+    out.error = OtaError::kImageLengthMismatch;
+    retry_finish(st, std::move(out));
+    return;
+  }
+  st->buffer.insert(st->buffer.end(), chunk->begin(), chunk->end());
+  st->offset += chunk->size();
+  c_bytes_fetched_->inc(chunk->size());
+  const SimTime tx = SimTime::from_seconds_f(
+      static_cast<double>(chunk->size()) /
+      static_cast<double>(st->policy.link_bytes_per_sec));
+  st->sched->schedule_after(tx, [this, st] { retry_fetch_chunk(st); });
+}
+
+void FullVerificationClient::retry_fail_transport(
+    const std::shared_ptr<RetryState>& st) {
+  if (st->attempt >= st->policy.max_attempts) {
+    ASECK_TRACE(trace_, st->sched->now(), k_retries_exhausted_,
+                "attempts=" + std::to_string(st->attempt));
+    Outcome out;
+    out.error = OtaError::kRetriesExhausted;
+    retry_finish(st, std::move(out));
+    return;
+  }
+  c_fetch_retries_->inc();
+  const double base = st->policy.initial_backoff.seconds() *
+                      std::pow(st->policy.multiplier, st->attempt - 1);
+  const SimTime backoff = SimTime::from_seconds_f(
+      std::min(base, st->policy.max_backoff.seconds()));
+  ASECK_TRACE(trace_, st->sched->now(), k_backoff_,
+              "ns=" + std::to_string(backoff.ns));
+  st->sched->schedule_after(backoff, [this, st] { retry_attempt(st); });
+}
+
+void FullVerificationClient::retry_finish(const std::shared_ptr<RetryState>& st,
+                                          Outcome out) {
+  const SimTime now = st->sched->now();
+  if (out.error == OtaError::kOk) {
+    c_verify_ok_->inc();
+    ASECK_TRACE(trace_, now, k_verify_ok_, "image=" + st->image_name);
+  } else {
+    c_verify_fail_->inc();
+    ASECK_TRACE(trace_, now, k_verify_fail_,
+                std::string(ota_error_name(out.error)) +
+                    " image=" + st->image_name);
+  }
+  RetryOutcome ro;
+  ro.outcome = std::move(out);
+  ro.attempts = st->attempt;
+  ro.resumed_from = st->resumed_from;
+  ro.finished_at = now;
+  if (st->done) st->done(ro);
 }
 
 PartialVerificationClient::Outcome PartialVerificationClient::verify(

@@ -6,11 +6,13 @@
 // each level withstands.
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "ecu/flash.hpp"
 #include "ota/repository.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
@@ -37,6 +39,7 @@ enum class OtaError {
   kHardwareMismatch,
   kImageRollback,
   kDownloadFailed,
+  kRetriesExhausted,  // transport kept failing past RetryPolicy::max_attempts
 };
 const char* ota_error_name(OtaError e);
 
@@ -67,6 +70,38 @@ class FullVerificationClient {
   OtaError verify_chain(const MetadataBundle& bundle, bool is_director,
                         SimTime now);
 
+  /// Exponential-backoff retry + resumable chunked download policy for
+  /// fetch_and_verify_with_retry.
+  struct RetryPolicy {
+    int max_attempts = 5;
+    SimTime initial_backoff = SimTime::from_ms(100);
+    double multiplier = 2.0;
+    SimTime max_backoff = SimTime::from_s(60);
+    std::size_t chunk_bytes = 16 * 1024;
+    std::uint64_t link_bytes_per_sec = 1'000'000;  // download link rate
+  };
+  struct RetryOutcome {
+    Outcome outcome;
+    int attempts = 0;
+    std::size_t resumed_from = 0;  // offset the final attempt resumed at
+    SimTime finished_at = SimTime::zero();
+  };
+  using RetryCallback = std::function<void(const RetryOutcome&)>;
+
+  /// Scheduler-driven fetch_and_verify that survives repository outages:
+  /// each attempt re-verifies metadata, then downloads the image in chunks
+  /// at the link rate, resuming from the last good offset after an outage.
+  /// Transport faults back off exponentially; metadata verification failures
+  /// are final (a retry cannot fix a bad signature). Ends with kOk, the
+  /// first non-transport error, or kRetriesExhausted via `done`.
+  void fetch_and_verify_with_retry(sim::Scheduler& sched,
+                                   const Repository& director_repo,
+                                   const Repository& image_repo,
+                                   const std::string& image_name,
+                                   const std::string& hardware_id,
+                                   std::uint32_t installed_version,
+                                   RetryPolicy policy, RetryCallback done);
+
   std::uint64_t verify_ok() const { return c_verify_ok_->value(); }
   std::uint64_t verify_fail() const { return c_verify_fail_->value(); }
   sim::TraceScope& trace() { return trace_; }
@@ -81,8 +116,17 @@ class FullVerificationClient {
     std::uint32_t last_snapshot = 0;
     std::uint32_t last_targets = 0;
   };
+  struct RetryState;
+
   OtaError verify_repo(const MetadataBundle& bundle, RepoState& st, SimTime now,
                        const TargetsMeta** out_targets);
+  /// Metadata verification + cross-repo target agreement, no image download.
+  OtaError resolve_target(const MetadataBundle& director,
+                          const MetadataBundle& image_repo,
+                          const std::string& image_name,
+                          const std::string& hardware_id,
+                          std::uint32_t installed_version, SimTime now,
+                          TargetInfo* out_info);
   Outcome fetch_and_verify_inner(const MetadataBundle& director,
                                  const MetadataBundle& image_repo,
                                  const Repository& director_repo,
@@ -90,6 +134,10 @@ class FullVerificationClient {
                                  const std::string& image_name,
                                  const std::string& hardware_id,
                                  std::uint32_t installed_version, SimTime now);
+  void retry_attempt(const std::shared_ptr<RetryState>& st);
+  void retry_fetch_chunk(const std::shared_ptr<RetryState>& st);
+  void retry_fail_transport(const std::shared_ptr<RetryState>& st);
+  void retry_finish(const std::shared_ptr<RetryState>& st, Outcome out);
   void wire_telemetry();
 
   std::string name_;
@@ -99,7 +147,12 @@ class FullVerificationClient {
   std::shared_ptr<sim::MetricsRegistry> metrics_;
   sim::Counter* c_verify_ok_ = nullptr;
   sim::Counter* c_verify_fail_ = nullptr;
-  sim::TraceId k_verify_ok_ = 0, k_verify_fail_ = 0;
+  sim::Counter* c_fetch_attempts_ = nullptr;
+  sim::Counter* c_fetch_retries_ = nullptr;
+  sim::Counter* c_bytes_fetched_ = nullptr;
+  sim::TraceId k_verify_ok_ = 0, k_verify_fail_ = 0, k_fetch_attempt_ = 0,
+               k_fetch_resume_ = 0, k_fetch_interrupted_ = 0, k_backoff_ = 0,
+               k_retries_exhausted_ = 0;
 };
 
 /// Partial-verification (secondary ECU) client: pinned director-targets key,

@@ -1,5 +1,7 @@
 #include "ota/repository.hpp"
 
+#include <algorithm>
+
 namespace aseck::ota {
 
 Repository::Repository(crypto::Drbg& rng, std::string name, SimTime expiry)
@@ -78,8 +80,20 @@ void Repository::publish(SimTime now) {
 }
 
 const util::Bytes* Repository::download(const std::string& image_name) const {
+  if (!available()) return nullptr;
   const auto it = images_.find(image_name);
   return it == images_.end() ? nullptr : &it->second;
+}
+
+std::optional<util::Bytes> Repository::download_range(
+    const std::string& image_name, std::size_t offset,
+    std::size_t max_len) const {
+  if (!available()) return std::nullopt;
+  const auto it = images_.find(image_name);
+  if (it == images_.end() || offset > it->second.size()) return std::nullopt;
+  const std::size_t n = std::min(max_len, it->second.size() - offset);
+  const auto first = it->second.begin() + static_cast<std::ptrdiff_t>(offset);
+  return util::Bytes(first, first + static_cast<std::ptrdiff_t>(n));
 }
 
 const crypto::EcdsaPrivateKey& Repository::role_key(Role r) const {

@@ -6,10 +6,12 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "crypto/drbg.hpp"
 #include "ota/metadata.hpp"
+#include "sim/faultplan.hpp"
 
 namespace aseck::ota {
 
@@ -40,8 +42,20 @@ class Repository {
 
   /// Current signed metadata bundle.
   const MetadataBundle& metadata() const { return bundle_; }
-  /// Image download; returns nullptr if unknown.
+  /// Image download; returns nullptr if unknown or unavailable (outage).
   const util::Bytes* download(const std::string& image_name) const;
+  /// Byte-range download for resumable fetch: bytes [offset, offset+max_len)
+  /// of the image (short at EOF). nullopt when unknown, unavailable, or the
+  /// offset is past the end.
+  std::optional<util::Bytes> download_range(const std::string& image_name,
+                                            std::size_t offset,
+                                            std::size_t max_len) const;
+
+  /// Attaches a fault-injection port (sim::FaultPlan kOutage windows): while
+  /// the port is down the repository refuses all downloads.
+  void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
+  /// False while an injected outage window is active.
+  bool available() const { return !fault_port_ || !fault_port_->down(); }
 
   /// Initial trusted root for provisioning clients.
   const Signed<RootMeta>& trusted_root() const { return bundle_.root; }
@@ -73,6 +87,7 @@ class Repository {
   std::map<Role, std::unique_ptr<crypto::EcdsaPrivateKey>> keys_;
   std::map<std::string, util::Bytes> images_;
   MetadataBundle bundle_;
+  sim::FaultPort* fault_port_ = nullptr;
 };
 
 }  // namespace aseck::ota

@@ -37,13 +37,13 @@ std::vector<std::string> single_points_of_failure(const FunctionModel& fn) {
   return spf;
 }
 
-FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
-                                       double per_component_p,
-                                       std::uint64_t trials,
-                                       std::uint64_t seed) {
+namespace {
+
+FaultCampaignResult run_campaign_impl(const std::vector<FunctionModel>& fns,
+                                      double per_component_p,
+                                      std::uint64_t trials, util::Rng& rng) {
   FaultCampaignResult result;
   result.trials = trials;
-  util::Rng rng(seed);
 
   // Collect the component universe.
   std::set<std::string> universe;
@@ -62,6 +62,30 @@ FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
       if (!fn.operational(failed)) ++result.function_failures[fn.name];
     }
   }
+  return result;
+}
+
+}  // namespace
+
+FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
+                                       double per_component_p,
+                                       std::uint64_t trials,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  return run_campaign_impl(fns, per_component_p, trials, rng);
+}
+
+FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
+                                       double per_component_p,
+                                       std::uint64_t trials,
+                                       sim::FaultPlan& plan) {
+  const FaultCampaignResult result =
+      run_campaign_impl(fns, per_component_p, trials, plan.rng());
+  std::uint64_t failures = 0;
+  for (const auto& [fn, n] : result.function_failures) failures += n;
+  ASECK_TRACE(plan.trace(), plan.now(), "campaign",
+              "trials=" + std::to_string(trials) +
+                  " failures=" + std::to_string(failures));
   return result;
 }
 

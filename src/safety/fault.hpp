@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faultplan.hpp"
 #include "util/rng.hpp"
 
 namespace aseck::safety {
@@ -30,17 +31,10 @@ struct FunctionModel {
 /// Finds all single points of failure of a function.
 std::vector<std::string> single_points_of_failure(const FunctionModel& fn);
 
-/// Monte-Carlo fault injection over a set of functions.
-struct FaultCampaignResult {
-  std::uint64_t trials = 0;
-  std::map<std::string, std::uint64_t> function_failures;
-  double failure_rate(const std::string& fn) const {
-    const auto it = function_failures.find(fn);
-    return trials == 0 || it == function_failures.end()
-               ? 0.0
-               : static_cast<double>(it->second) / static_cast<double>(trials);
-  }
-};
+/// Monte-Carlo campaign results share the sim-layer schema so bus-level
+/// fault sweeps (sim::FaultPlan) and ASIL component campaigns report through
+/// one shape: trials + failures per named function.
+using FaultCampaignResult = sim::FaultCampaignResult;
 
 /// Each trial fails each component independently with `per_component_p` and
 /// evaluates every function.
@@ -48,5 +42,13 @@ FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
                                        double per_component_p,
                                        std::uint64_t trials,
                                        std::uint64_t seed);
+
+/// Variant driven by a sim::FaultPlan: draws from the plan's single seeded
+/// RNG stream (so the campaign is reproducible alongside the plan's bus
+/// faults) and records a "campaign" event on the plan's trace timeline.
+FaultCampaignResult run_fault_campaign(const std::vector<FunctionModel>& fns,
+                                       double per_component_p,
+                                       std::uint64_t trials,
+                                       sim::FaultPlan& plan);
 
 }  // namespace aseck::safety

@@ -1,0 +1,218 @@
+#pragma once
+// Deterministic fault-injection engine — the chaos plane of the simulator.
+//
+// The paper's §3 (safety/security/reliability interplay) and §6
+// (extensibility challenges) argue that defenses must survive degraded
+// channels; this engine is how we *generate* those degraded channels on
+// demand and measure recovery. One `FaultPlan` owns a single seeded RNG and
+// schedules scripted or randomized fault windows against named targets:
+//
+//   * frame-level channel faults (drop / corrupt / delay / duplicate) —
+//     consulted by the bus models through a per-target `FaultPort`;
+//   * stateful outages (ECU crash, gateway link partition, V2X radio-loss
+//     burst, OTA repository unavailability) — dispatched to registered
+//     handlers and reflected in the port's `down()` window.
+//
+// Every injection, clearance, and recovery is recorded on the shared
+// TraceBus, so cause -> degradation -> recovery lands on one causal
+// timeline next to the substrate's own events (bus_off, mode_degraded,
+// fetch_resume, ...). `to_json()` exports the fault ledger
+// deterministically: same seed, same script => bit-identical output, which
+// is what `bench_e15_resilience` and the chaos-smoke CI job assert.
+//
+// Layering: this file lives in sim/ and knows nothing about CAN, the
+// gateway, or OTA. Substrates opt in by accepting a `FaultPort*`
+// (ivn::CanBus::set_fault_port, ota::Repository::set_fault_port, ...) or by
+// registering a handler (`plan.on("gw.link.body", FaultKind::kPartition,
+// ...)`) that calls into their own degradation API.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace aseck::sim {
+
+enum class FaultKind {
+  kFrameDrop,       // frame vanishes on the wire
+  kFrameCorrupt,    // frame payload/CRC destroyed
+  kFrameDelay,      // frame delivered late
+  kFrameDuplicate,  // frame delivered twice (replay/echo)
+  kCrash,           // component dead for the window (ECU crash-and-restart)
+  kPartition,       // link partition (e.g. gateway <-> domain bus)
+  kRadioLoss,       // V2X radio loss burst
+  kOutage,          // service unavailability (OTA repository)
+};
+const char* fault_kind_name(FaultKind k);
+
+/// True for kinds whose effect ends with the window itself (the channel is
+/// healthy the instant the window clears); stateful kinds need an explicit
+/// `FaultPlan::notify_recovered` from the component or the harness.
+bool fault_kind_auto_recovers(FaultKind k);
+
+/// One fault to inject against a registered target name.
+struct FaultSpec {
+  std::string target;                    // e.g. "can.powertrain", "ota.director"
+  FaultKind kind = FaultKind::kFrameDrop;
+  double probability = 1.0;              // per-frame kinds: P(frame affected)
+  util::SimTime delay = util::SimTime::zero();  // kFrameDelay: added latency
+};
+
+/// Live per-target fault state, consulted by a substrate on its hot path.
+/// All randomness draws from the owning plan's single seeded RNG, and a roll
+/// with zero probability consumes no randomness — an idle port is free and
+/// leaves the RNG stream untouched.
+class FaultPort {
+ public:
+  bool roll_drop() { return drop_p_ > 0 && rng_->chance(drop_p_); }
+  bool roll_corrupt() { return corrupt_p_ > 0 && rng_->chance(corrupt_p_); }
+  bool roll_duplicate() { return dup_p_ > 0 && rng_->chance(dup_p_); }
+  /// Zero when no delay fault is active (or the roll misses).
+  util::SimTime roll_delay() {
+    return (delay_p_ > 0 && rng_->chance(delay_p_)) ? delay_
+                                                    : util::SimTime::zero();
+  }
+  /// Inside a kCrash/kPartition/kRadioLoss/kOutage window.
+  bool down() const { return down_ > 0; }
+  /// Any fault currently armed on this port.
+  bool active() const {
+    return down_ > 0 || drop_p_ > 0 || corrupt_p_ > 0 || dup_p_ > 0 ||
+           delay_p_ > 0;
+  }
+
+ private:
+  friend class FaultPlan;
+  explicit FaultPort(util::Rng& rng) : rng_(&rng) {}
+  double drop_p_ = 0, corrupt_p_ = 0, dup_p_ = 0, delay_p_ = 0;
+  util::SimTime delay_ = util::SimTime::zero();
+  int down_ = 0;  // nesting count of overlapping stateful windows
+  util::Rng* rng_;
+};
+
+/// Ledger entry for one injected fault.
+struct FaultRecord {
+  std::uint64_t id = 0;
+  FaultSpec spec;
+  util::SimTime injected_at = util::SimTime::zero();
+  util::SimTime cleared_at = util::SimTime::zero();
+  util::SimTime recovered_at = util::SimTime::zero();
+  bool injected = false;  // begin event fired
+  bool cleared = false;
+  bool recovered = false;
+  /// Injection -> recovery (zero until recovered).
+  util::SimTime recovery_latency() const {
+    return recovered ? recovered_at - injected_at : util::SimTime::zero();
+  }
+};
+
+/// Result schema shared by bus-level fault campaigns and the safety layer's
+/// Monte-Carlo ASIL campaigns (`safety::run_fault_campaign`): one seeded RNG
+/// feeds both, and both report failures per named function/target.
+struct FaultCampaignResult {
+  std::uint64_t trials = 0;
+  std::map<std::string, std::uint64_t> function_failures;
+  double failure_rate(const std::string& fn) const {
+    const auto it = function_failures.find(fn);
+    return trials == 0 || it == function_failures.end()
+               ? 0.0
+               : static_cast<double>(it->second) / static_cast<double>(trials);
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(Scheduler& sched, std::uint64_t seed);
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+  /// Current sim time of the driving scheduler (for event annotations by
+  /// consumers that do not hold the scheduler themselves).
+  SimTime now() const { return sched_.now(); }
+  /// The plan's single RNG stream; all injection randomness flows through it.
+  util::Rng& rng() { return rng_; }
+  /// Independent child stream (e.g. for a safety Monte-Carlo campaign that
+  /// must not perturb the bus-level injection sequence).
+  util::Rng fork_rng() { return rng_.fork(); }
+
+  /// Per-target channel-fault state; created on first use. The returned
+  /// reference is stable for the plan's lifetime, so substrates may cache it.
+  FaultPort& port(const std::string& target);
+
+  /// Handler invoked at fault begin (`active=true`) and window end
+  /// (`active=false`). Multiple handlers per (target, kind) are allowed.
+  using Handler = std::function<void(const FaultSpec&, bool active)>;
+  void on(const std::string& target, FaultKind kind, Handler h);
+
+  /// Schedules `spec` active over [at, at+duration). Returns the fault id.
+  std::uint64_t window(util::SimTime at, util::SimTime duration, FaultSpec spec);
+
+  /// Randomized campaign: Poisson fault arrivals at `rate_hz` over
+  /// [start, horizon), each a window of `duration`, the spec drawn uniformly
+  /// from `specs`. Deterministic given the plan's seed. Returns fault ids.
+  std::vector<std::uint64_t> random_campaign(util::SimTime start,
+                                             util::SimTime horizon,
+                                             double rate_hz,
+                                             util::SimTime duration,
+                                             const std::vector<FaultSpec>& specs);
+
+  /// Marks every not-yet-recovered fault on `target` as recovered now.
+  /// Substrate adapters or the harness call this when the component is
+  /// observed healthy again (OTA fetch succeeded, gateway back to normal
+  /// mode, ECU rebooted, ...). Returns the number of faults marked.
+  std::size_t notify_recovered(const std::string& target);
+
+  const std::vector<FaultRecord>& records() const { return records_; }
+  /// Faults whose begin event has fired (scheduled-only windows excluded).
+  std::size_t injected() const;
+  std::size_t recovered() const;
+  /// Injected faults never marked recovered — the chaos-smoke CI gate.
+  std::size_t unrecovered() const { return injected() - recovered(); }
+
+  /// Deterministic export of the fault ledger: same seed + same script =>
+  /// byte-identical output (no wall-clock anywhere).
+  std::string to_json() const;
+
+  sim::TraceScope& trace() { return trace_; }
+  /// Rebinds trace events and counters onto a shared telemetry plane, so
+  /// inject/clear/recover events interleave with substrate events on one
+  /// causal timeline.
+  void bind_telemetry(const Telemetry& t);
+
+ private:
+  void apply(const FaultSpec& spec, bool begin);
+  void begin_fault(std::uint64_t id);
+  void end_fault(std::uint64_t id);
+  void wire_telemetry();
+
+  Scheduler& sched_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::map<std::string, std::unique_ptr<FaultPort>> ports_;
+  struct HandlerKey {
+    std::string target;
+    FaultKind kind;
+    bool operator<(const HandlerKey& o) const {
+      if (target != o.target) return target < o.target;
+      return kind < o.kind;
+    }
+  };
+  std::map<HandlerKey, std::vector<Handler>> handlers_;
+  std::vector<FaultRecord> records_;  // id == index + 1
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_injected_ = nullptr;
+  sim::Counter* c_cleared_ = nullptr;
+  sim::Counter* c_recovered_ = nullptr;
+  sim::LatencyHistogram* h_recovery_ms_ = nullptr;
+  sim::TraceId k_inject_ = 0, k_clear_ = 0, k_recovered_ = 0, k_campaign_ = 0;
+};
+
+}  // namespace aseck::sim

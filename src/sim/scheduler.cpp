@@ -12,6 +12,12 @@ EventId Scheduler::schedule_at(SimTime at, EventFn fn) {
   return EventId{seq};
 }
 
+EventId Scheduler::schedule_after(SimTime delay, EventFn fn) {
+  SimTime at = now_;
+  at.ns = delay.ns > UINT64_MAX - now_.ns ? UINT64_MAX : now_.ns + delay.ns;
+  return schedule_at(at, std::move(fn));
+}
+
 void Scheduler::cancel(EventId id) {
   if (!id.valid()) return;
   live_.erase(id.seq);  // no-op if already fired or cancelled

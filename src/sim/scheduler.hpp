@@ -40,6 +40,14 @@ class Scheduler {
   EventId schedule_in(SimTime delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
+  /// `now()`-safe variant for retry/backoff timers: evaluates now() at call
+  /// time, saturates instead of wrapping on `now + delay` overflow (an
+  /// exponential backoff can overflow the ns clock), and is safe to call
+  /// from inside a running event with zero delay — the new event lands
+  /// *after* already-queued events at the same timestamp (stable FIFO), so a
+  /// zero-delay self-rescheduling chain interleaves instead of starving the
+  /// queue.
+  EventId schedule_after(SimTime delay, EventFn fn);
   /// Cancels a pending event; no-op if already fired or cancelled.
   void cancel(EventId id);
 

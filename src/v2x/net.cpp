@@ -23,10 +23,16 @@ void V2xMedium::attach_monitor(V2xRadio* radio) { monitors_.push_back(radio); }
 void V2xMedium::broadcast(V2xRadio* from, Spdu msg) {
   ++transmitted_;
   const Position src = from->position();
+  const bool radio_down = fault_port_ && fault_port_->down();
   for (V2xRadio* rx : radios_) {
     if (rx == from) continue;
     const double dist = rx->position().distance_to(src);
     if (dist > range_) continue;
+    if (radio_down || (fault_port_ && fault_port_->roll_drop())) {
+      ++lost_;
+      ++lost_fault_;
+      continue;
+    }
     if (loss_prob_ > 0 && rng_.chance(loss_prob_)) {
       ++lost_;
       continue;

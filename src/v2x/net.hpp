@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
@@ -53,17 +54,26 @@ class V2xMedium {
   std::uint64_t transmitted() const { return transmitted_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t lost() const { return lost_; }
+  /// Deliveries suppressed by injected radio-loss faults (subset of lost()).
+  std::uint64_t lost_fault() const { return lost_fault_; }
+
+  /// Attaches a fault-injection port (sim::FaultPlan): radio-loss windows
+  /// (down()) black out all receivers; drop faults lose individual
+  /// receptions. Monitors (sniffers) are unaffected.
+  void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
 
  private:
   Scheduler& sched_;
   double range_;
   double loss_prob_;
   util::Rng rng_;
+  sim::FaultPort* fault_port_ = nullptr;
   std::vector<V2xRadio*> radios_;
   std::vector<V2xRadio*> monitors_;
   std::uint64_t transmitted_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
+  std::uint64_t lost_fault_ = 0;
 };
 
 /// Plausibility thresholds for misbehavior detection.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -186,6 +188,69 @@ TEST(PeriodicTask, DestructorStops) {
   }
   s.run_until(SimTime::from_ms(50));
   EXPECT_EQ(fires, 3);
+}
+
+TEST(ScheduleAfter, RelativeToNowAtCallTime) {
+  Scheduler s;
+  SimTime fired_at = SimTime::zero();
+  s.schedule_at(SimTime::from_ms(10), [&] {
+    // Relative to now() *inside* the running event, not to schedule time.
+    s.schedule_after(SimTime::from_ms(5), [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, SimTime::from_ms(15));
+}
+
+TEST(ScheduleAfter, ZeroDelaySelfRescheduleInterleavesFifo) {
+  // Regression: a zero-delay self-rescheduling chain must land *behind*
+  // already-queued events at the same timestamp, so concurrent work
+  // interleaves instead of starving.
+  Scheduler s;
+  std::vector<char> order;
+  int a_runs = 0;
+  std::function<void()> chain = [&] {
+    order.push_back('A');
+    if (++a_runs < 3) s.schedule_after(SimTime::zero(), chain);
+  };
+  s.schedule_at(SimTime::from_ms(1), chain);
+  s.schedule_at(SimTime::from_ms(1), [&] { order.push_back('B'); });
+  s.schedule_at(SimTime::from_ms(1), [&] { order.push_back('C'); });
+  s.run();
+  ASSERT_EQ(order.size(), 5u);
+  // First A, then the events that were already queued at 1ms, then the
+  // rescheduled As.
+  EXPECT_EQ(order[0], 'A');
+  EXPECT_EQ(order[1], 'B');
+  EXPECT_EQ(order[2], 'C');
+  EXPECT_EQ(order[3], 'A');
+  EXPECT_EQ(order[4], 'A');
+}
+
+TEST(ScheduleAfter, PerpetualZeroDelayChainHonorsRunLimit) {
+  Scheduler s;
+  std::uint64_t runs = 0;
+  std::function<void()> forever = [&] {
+    ++runs;
+    s.schedule_after(SimTime::zero(), forever);
+  };
+  s.schedule_at(SimTime::zero(), forever);
+  EXPECT_EQ(s.run(100), 100u);
+  EXPECT_EQ(runs, 100u);
+  EXPECT_FALSE(s.empty());  // the chain is still pending, not lost
+}
+
+TEST(ScheduleAfter, SaturatesInsteadOfWrappingOnOverflow) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(1), [&] {
+    // now + delay would wrap uint64; must clamp to the far future instead
+    // of wrapping to the past (which schedule_at would reject).
+    EXPECT_NO_THROW(s.schedule_after(SimTime::from_ns(UINT64_MAX), [] {}));
+  });
+  s.run(1);
+  EXPECT_FALSE(s.empty());
+  // The saturated event is parked at t=UINT64_MAX, not at now-1.
+  s.run();
+  EXPECT_EQ(s.now().ns, UINT64_MAX);
 }
 
 TEST(TraceSink, RecordsAndQueries) {
