@@ -24,6 +24,7 @@ std::optional<bool> PolicyValue::as_bool() const {
 
 util::Bytes PolicyValue::serialize() const {
   util::Bytes out;
+  out.reserve(10 + (kind_ == Kind::kString ? s_.size() : 0));
   out.push_back(static_cast<std::uint8_t>(kind_));
   switch (kind_) {
     case Kind::kInt:

@@ -72,6 +72,8 @@ void SecurityGateway::wire_telemetry() {
   rewire(c_dropped_quarantine_, "dropped_quarantine");
   rewire(c_dropped_link_down_, "dropped_link_down");
   rewire(c_dropped_degraded_, "dropped_degraded");
+  rewire(c_frames_seen_, "frames_seen");
+  rewire(c_shadow_forwarded_, "shadow_forwarded");
   k_forward_ = trace_.kind("forward");
   k_drop_ = trace_.kind("drop");
   k_quarantine_ = trace_.kind("quarantine");
@@ -241,8 +243,40 @@ void SecurityGateway::enable_bus_fault_watch(const sim::Telemetry& t) {
   });
 }
 
+SecurityGateway::SyncState SecurityGateway::export_state() const {
+  SyncState s;
+  for (const auto& [dom, d] : domains_) {
+    SyncState::DomainState ds;
+    ds.quarantined = d.quarantined;
+    ds.link_up = d.link_up;
+    ds.mode = d.mode;
+    ds.fault_count = d.fault_count;
+    ds.calm_windows = d.calm_windows;
+    s.domains[dom] = ds;
+  }
+  return s;
+}
+
+void SecurityGateway::import_state(const SyncState& s) {
+  for (const auto& [dom, ds] : s.domains) {
+    const auto it = domains_.find(dom);
+    if (it == domains_.end()) continue;  // config drift: unknown domain
+    Domain& d = it->second;
+    d.quarantined = ds.quarantined;
+    d.link_up = ds.link_up;
+    d.fault_count = ds.fault_count;
+    d.calm_windows = ds.calm_windows;
+    if (d.mode != ds.mode) {
+      d.mode = ds.mode;
+      metrics_->gauge("gateway." + name_ + ".mode." + dom)
+          .set(static_cast<double>(ds.mode));
+    }
+  }
+}
+
 void SecurityGateway::drop(const std::string& domain, const CanFrame& frame,
                            DropReason r) {
+  if (!forwarding_) return;  // shadow pipeline: no drop accounting/observers
   switch (r) {
     case DropReason::kNoRoute: c_dropped_no_route_->inc(); break;
     case DropReason::kFirewallDeny:
@@ -260,6 +294,8 @@ void SecurityGateway::drop(const std::string& domain, const CanFrame& frame,
 void SecurityGateway::on_domain_frame(const std::string& domain,
                                       const CanFrame& frame, SimTime at) {
   (void)at;
+  if (offline_) return;  // crashed unit: no processing at all
+  c_frames_seen_->inc();
   Domain& src = domains_.at(domain);
   if (src.quarantined) {
     drop(domain, frame, DropReason::kQuarantined);
@@ -328,6 +364,12 @@ void SecurityGateway::on_domain_frame(const std::string& domain,
     }
     if (!allow) {
       drop(domain, frame, DropReason::kFirewallDeny);
+      continue;
+    }
+    if (!forwarding_) {
+      // Hot standby: the frame passed the whole pipeline (state is warm),
+      // but only the active unit may emit on the destination bus.
+      c_shadow_forwarded_->inc();
       continue;
     }
     c_forwarded_->inc();

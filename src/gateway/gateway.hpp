@@ -139,6 +139,42 @@ class SecurityGateway {
   /// after add_domain() and after the buses are bound to the same telemetry.
   void enable_bus_fault_watch(const sim::Telemetry& t);
 
+  // --- hot-standby support (gateway::RedundantGateway) -----------------------
+  /// Forwarding on (active, default) or off (hot standby). A passive gateway
+  /// runs the full admission pipeline in *shadow* — route lookup, quarantine,
+  /// link, mode, firewall, and rate-limit token consumption all happen, so
+  /// its dynamic state stays warm for an instant failover — but nothing is
+  /// emitted on the destination bus and no drop counters/observers fire;
+  /// would-have-forwarded frames land in `shadow_forwarded()` instead.
+  void set_forwarding(bool on) { forwarding_ = on; }
+  bool forwarding() const { return forwarding_; }
+  /// Crash simulation: an offline gateway ignores traffic entirely (no
+  /// shadow processing), modeling a dead unit rather than a passive one.
+  void set_offline(bool off) { offline_ = off; }
+  bool offline() const { return offline_; }
+  /// Frames the shadow pipeline would have forwarded while passive.
+  std::uint64_t shadow_forwarded() const { return c_shadow_forwarded_->value(); }
+  /// Frames that reached the admission pipeline (any role, incl. shadow).
+  std::uint64_t frames_seen() const { return c_frames_seen_->value(); }
+
+  /// Replicable dynamic state for active -> standby sync. Static config
+  /// (routes, rules, limits) is mirrored at setup time by RedundantGateway;
+  /// this covers what mutates at runtime.
+  struct SyncState {
+    struct DomainState {
+      bool quarantined = false;
+      bool link_up = true;
+      GatewayMode mode = GatewayMode::kNormal;
+      std::uint32_t fault_count = 0;
+      std::uint32_t calm_windows = 0;
+    };
+    std::map<std::string, DomainState> domains;
+  };
+  SyncState export_state() const;
+  /// Applies a replicated snapshot (mode gauges updated, no trace events —
+  /// replication is not a local mode decision).
+  void import_state(const SyncState& s);
+
   /// Snapshot materialized from the metrics registry (compat accessor).
   GatewayStats stats() const;
   sim::TraceScope& trace() { return trace_; }
@@ -176,6 +212,8 @@ class SecurityGateway {
   Scheduler& sched_;
   std::string name_;
   SimTime processing_delay_;
+  bool forwarding_ = true;
+  bool offline_ = false;
   struct Domain {
     CanBus* bus = nullptr;
     std::unique_ptr<Port> port;
@@ -204,6 +242,8 @@ class SecurityGateway {
   sim::Counter* c_dropped_quarantine_ = nullptr;
   sim::Counter* c_dropped_link_down_ = nullptr;
   sim::Counter* c_dropped_degraded_ = nullptr;
+  sim::Counter* c_frames_seen_ = nullptr;
+  sim::Counter* c_shadow_forwarded_ = nullptr;
   sim::TraceId k_forward_ = 0, k_drop_ = 0, k_quarantine_ = 0, k_release_ = 0,
                k_mode_normal_ = 0, k_mode_degraded_ = 0, k_mode_limp_ = 0,
                k_link_up_ = 0, k_link_down_ = 0;

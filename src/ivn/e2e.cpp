@@ -36,29 +36,33 @@ util::Bytes E2eProtector::protect(util::BytesView payload) {
 }
 
 E2eChecker::Result E2eChecker::check(util::BytesView pdu) {
-  if (pdu.size() < 2) return {E2eStatus::kWrongCrc, {}};
+  const auto flag = [this](E2eStatus s) {
+    ++counts_[static_cast<std::size_t>(s)];
+    return s;
+  };
+  if (pdu.size() < 2) return {flag(E2eStatus::kWrongCrc), {}};
   const std::uint8_t crc = pdu[0];
   const std::uint8_t counter = pdu[1];
   const util::BytesView payload = pdu.subspan(2);
   if (e2e_crc(cfg_, counter, payload) != crc) {
-    return {E2eStatus::kWrongCrc, {}};
+    return {flag(E2eStatus::kWrongCrc), {}};
   }
   E2eStatus status = E2eStatus::kOk;
   if (last_counter_) {
     const std::uint8_t delta =
         static_cast<std::uint8_t>((counter + 15 - *last_counter_) % 15);
     if (delta == 0) {
-      return {E2eStatus::kRepeated, {}};
+      return {flag(E2eStatus::kRepeated), {}};
     }
     if (delta > cfg_.max_delta_counter) {
       // Sequence break: report, then resynchronize on this counter.
       last_counter_ = counter;
-      return {E2eStatus::kWrongSequence, {}};
+      return {flag(E2eStatus::kWrongSequence), {}};
     }
     if (delta > 1) status = E2eStatus::kOkSomeLost;
   }
   last_counter_ = counter;
-  return {status, util::Bytes(payload.begin(), payload.end())};
+  return {flag(status), util::Bytes(payload.begin(), payload.end())};
 }
 
 }  // namespace aseck::ivn

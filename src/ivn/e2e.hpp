@@ -53,9 +53,25 @@ class E2eChecker {
   };
   Result check(util::BytesView protected_pdu);
 
+  /// Per-status counters since construction. `repeated()` is the E2E-layer
+  /// detector for the chaos plane's frame-*duplicate* fault: a duplicated
+  /// delivery carries the same alive counter and is flagged kRepeated, so a
+  /// supervision layer can distinguish replay/echo from loss.
+  std::uint64_t ok() const { return count(E2eStatus::kOk); }
+  std::uint64_t ok_some_lost() const { return count(E2eStatus::kOkSomeLost); }
+  std::uint64_t wrong_crc() const { return count(E2eStatus::kWrongCrc); }
+  std::uint64_t repeated() const { return count(E2eStatus::kRepeated); }
+  std::uint64_t wrong_sequence() const {
+    return count(E2eStatus::kWrongSequence);
+  }
+  std::uint64_t count(E2eStatus s) const {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+
  private:
   E2eConfig cfg_;
   std::optional<std::uint8_t> last_counter_;
+  std::uint64_t counts_[5] = {0, 0, 0, 0, 0};
 };
 
 /// The E2E CRC over data-id low/high + counter + payload (exposed so the

@@ -55,6 +55,9 @@ void FullVerificationClient::wire_telemetry() {
   rewire(c_fetch_attempts_, "fetch_attempts");
   rewire(c_fetch_retries_, "fetch_retries");
   rewire(c_bytes_fetched_, "bytes_fetched");
+  rewire(c_backoffs_, "backoffs");
+  rewire(c_backoff_ns_, "backoff_ns_total");
+  h_backoff_ms_ = &metrics_->histogram(p + "backoff_ms", 0.0, 60'000.0, 60);
   k_verify_ok_ = trace_.kind("verify_ok");
   k_verify_fail_ = trace_.kind("verify_fail");
   k_fetch_attempt_ = trace_.kind("fetch_attempt");
@@ -362,8 +365,15 @@ void FullVerificationClient::retry_fail_transport(
   c_fetch_retries_->inc();
   const double base = st->policy.initial_backoff.seconds() *
                       std::pow(st->policy.multiplier, st->attempt - 1);
-  const SimTime backoff = SimTime::from_seconds_f(
-      std::min(base, st->policy.max_backoff.seconds()));
+  double capped = std::min(base, st->policy.max_backoff.seconds());
+  if (st->policy.jitter > 0 && st->policy.jitter_rng) {
+    capped *= st->policy.jitter_rng->uniform_real(1.0 - st->policy.jitter,
+                                                  1.0 + st->policy.jitter);
+  }
+  const SimTime backoff = SimTime::from_seconds_f(capped);
+  c_backoffs_->inc();
+  c_backoff_ns_->inc(backoff.ns);
+  h_backoff_ms_->record(backoff.ms());
   ASECK_TRACE(trace_, st->sched->now(), k_backoff_,
               "ns=" + std::to_string(backoff.ns));
   st->sched->schedule_after(backoff, [this, st] { retry_attempt(st); });

@@ -15,6 +15,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace aseck::ota {
 
@@ -79,6 +80,14 @@ class FullVerificationClient {
     SimTime max_backoff = SimTime::from_s(60);
     std::size_t chunk_bytes = 16 * 1024;
     std::uint64_t link_bytes_per_sec = 1'000'000;  // download link rate
+    /// Jittered backoff: each backoff is scaled by a factor drawn uniformly
+    /// from [1 - jitter, 1 + jitter] out of `jitter_rng` (e.g. the owning
+    /// FaultPlan's RNG or a fork of it), decorrelating fleet-wide retry
+    /// storms while staying bit-deterministic per seed. jitter == 0 or a
+    /// null rng keeps the pure exponential schedule (and draws nothing, so
+    /// an unjittered client never perturbs a shared RNG stream).
+    double jitter = 0.0;
+    util::Rng* jitter_rng = nullptr;
   };
   struct RetryOutcome {
     Outcome outcome;
@@ -150,6 +159,9 @@ class FullVerificationClient {
   sim::Counter* c_fetch_attempts_ = nullptr;
   sim::Counter* c_fetch_retries_ = nullptr;
   sim::Counter* c_bytes_fetched_ = nullptr;
+  sim::Counter* c_backoffs_ = nullptr;
+  sim::Counter* c_backoff_ns_ = nullptr;
+  sim::LatencyHistogram* h_backoff_ms_ = nullptr;
   sim::TraceId k_verify_ok_ = 0, k_verify_fail_ = 0, k_fetch_attempt_ = 0,
                k_fetch_resume_ = 0, k_fetch_interrupted_ = 0, k_backoff_ = 0,
                k_retries_exhausted_ = 0;

@@ -796,6 +796,60 @@ TEST(OtaRetry, ExhaustsRetriesUnderPermanentOutage) {
   EXPECT_EQ(client.verify_fail(), 1u);
 }
 
+TEST(OtaRetry, JitteredBackoffDeterministicAndMetered) {
+  // Jitter decorrelates fleet-wide retry storms but must stay
+  // bit-deterministic per seed, and the backoff schedule must land in the
+  // metrics registry (counters + histogram) for the E16 overhead report.
+  struct RunResult {
+    SimTime finished_at;
+    std::uint64_t backoffs = 0;
+    std::uint64_t backoff_ns = 0;
+  };
+  const auto run_once = [](double jitter, std::uint64_t rng_seed) {
+    RetryRig rig;
+    util::Rng jrng(rng_seed);
+    ota::FullVerificationClient client = rig.make_client();
+    ota::FullVerificationClient::RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.initial_backoff = SimTime::from_ms(4);
+    policy.multiplier = 2.0;
+    policy.chunk_bytes = 8192;
+    policy.jitter = jitter;
+    policy.jitter_rng = jitter > 0 ? &jrng : nullptr;
+
+    const SimTime start = SimTime::from_s(10);
+    rig.outage(start + SimTime::from_ms(20), SimTime::from_ms(40));
+    RunResult res;
+    rig.sched.schedule_at(start, [&] {
+      client.fetch_and_verify_with_retry(
+          rig.sched, rig.director, rig.images, "brake-fw", "brake-hw", 1,
+          policy, [&](const ota::FullVerificationClient::RetryOutcome& ro) {
+            EXPECT_EQ(ro.outcome.error, ota::OtaError::kOk);
+            res.finished_at = ro.finished_at;
+            rig.plan.notify_recovered("ota.director");
+            rig.plan.notify_recovered("ota.image");
+          });
+    });
+    rig.sched.run();
+    res.backoffs = rig.t.metrics->counter_value("ota.primary.backoffs");
+    res.backoff_ns = rig.t.metrics->counter_value("ota.primary.backoff_ns_total");
+    // The registry counter and the trace stream agree event for event.
+    EXPECT_EQ(res.backoffs, rig.t.bus->count("ota.primary", "backoff"));
+    return res;
+  };
+
+  const RunResult a = run_once(0.5, 99);
+  const RunResult b = run_once(0.5, 99);
+  const RunResult plain = run_once(0.0, 99);
+  // Same seed -> bit-identical schedule; jitter perturbs the plain one.
+  EXPECT_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.backoff_ns, b.backoff_ns);
+  EXPECT_EQ(a.backoffs, b.backoffs);
+  EXPECT_GT(a.backoffs, 0u);
+  EXPECT_GT(plain.backoffs, 0u);
+  EXPECT_NE(a.backoff_ns, plain.backoff_ns);
+}
+
 TEST(OtaRetry, MetadataFailureIsFinalNotRetried) {
   RetryRig rig;
   ota::FullVerificationClient client = rig.make_client();

@@ -251,5 +251,58 @@ TEST(Gateway, MulticastRoute) {
   EXPECT_EQ(gw.stats().forwarded, 2u);
 }
 
+TEST(Gateway, LimpHomeRecoveryRestoresShedRoutes) {
+  // The recovery direction of graceful degradation: a fault burst drives the
+  // domain straight to limp-home, calm health windows then step it down one
+  // level at a time, and a previously shed non-critical route carries
+  // traffic again only once the domain is back to normal. The whole walk
+  // must appear ordered on the trace bus:
+  // mode_limp_home < mode_degraded < mode_normal < forward.
+  Fixture f;
+  sim::Telemetry t;
+  f.gw.bind_telemetry(t);
+  f.gw.add_route(0x200, "powertrain", "infotainment", /*safety_critical=*/false);
+  DegradedModeConfig cfg;
+  cfg.window = sim::SimTime::from_ms(10);
+  cfg.degrade_threshold = 5;
+  cfg.limp_threshold = 15;
+  cfg.healthy_windows = 2;
+  f.gw.enable_degraded_mode(cfg);
+
+  int got = 0;
+  f.radio.subscribe(0x200, [&](const ivn::CanFrame&, sim::SimTime) { ++got; });
+  f.sched.schedule_at(sim::SimTime::from_ms(1),
+                      [&] { f.gw.report_domain_fault("powertrain", 20); });
+  // Shed while limp-home...
+  f.sched.schedule_at(sim::SimTime::from_ms(12),
+                      [&] { f.engine.send_frame(0x200, Bytes{0x01}); });
+  // ...forwarded again after limp -> degraded -> normal (2 calm windows per
+  // step: normal from t = 50 ms).
+  f.sched.schedule_at(sim::SimTime::from_ms(55),
+                      [&] { f.engine.send_frame(0x200, Bytes{0x02}); });
+  f.sched.run_until(sim::SimTime::from_ms(100));
+
+  EXPECT_EQ(f.gw.mode("powertrain"), GatewayMode::kNormal);
+  EXPECT_EQ(got, 1);  // only the post-recovery frame made it across
+  EXPECT_EQ(f.gw.stats().dropped_degraded, 1u);
+  EXPECT_EQ(f.gw.stats().forwarded, 1u);
+
+  const auto seq = [&](std::string_view kind) -> std::uint64_t {
+    const sim::TraceEvent* e = t.bus->find_first("cgw", kind);
+    return e ? e->seq : 0;
+  };
+  const std::uint64_t limp = seq("mode_limp_home");
+  const std::uint64_t degraded = seq("mode_degraded");
+  const std::uint64_t normal = seq("mode_normal");
+  const std::uint64_t forward = seq("forward");
+  ASSERT_NE(limp, 0u);
+  ASSERT_NE(degraded, 0u);
+  ASSERT_NE(normal, 0u);
+  ASSERT_NE(forward, 0u);
+  EXPECT_LT(limp, degraded);
+  EXPECT_LT(degraded, normal);
+  EXPECT_LT(normal, forward);
+}
+
 }  // namespace
 }  // namespace aseck::gateway

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "ivn/can.hpp"
 #include "ivn/e2e.hpp"
 #include "ivn/uds.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
 
 namespace aseck::ivn {
 namespace {
@@ -205,6 +209,59 @@ TEST(E2e, NotASecurityMechanism) {
   forged.push_back(forged_counter);
   forged.insert(forged.end(), evil.begin(), evil.end());
   EXPECT_EQ(rx.check(forged).status, E2eStatus::kOk);  // accepted!
+}
+
+TEST(E2e, FlagsChaosPlaneFrameDuplicates) {
+  // Regression for the fault-injection integration: a FaultPlan
+  // kFrameDuplicate window on a CAN bus delivers every frame twice, and the
+  // E2E layer must catch the echo — each duplicate carries the same alive
+  // counter, so the checker flags exactly one kRepeated per bus-level
+  // duplication. This is how a supervision layer tells replay/echo from
+  // plain loss.
+  sim::Scheduler sched;
+  sim::Telemetry t;
+  CanBus bus(sched, "can0", 500'000);
+  bus.bind_telemetry(t);
+  struct Node final : CanNode {
+    using CanNode::CanNode;
+    E2eChecker* chk = nullptr;
+    std::vector<E2eStatus> statuses;
+    void on_frame(const CanFrame& f, util::SimTime) override {
+      if (chk) statuses.push_back(chk->check(f.data).status);
+    }
+  };
+  Node tx_node("tx"), rx_node("rx");
+  const E2eConfig cfg{0x0321, 2};
+  E2eProtector tx(cfg);
+  E2eChecker rx(cfg);
+  rx_node.chk = &rx;
+  bus.attach(&tx_node);
+  bus.attach(&rx_node);
+
+  sim::FaultPlan plan(sched, 5);
+  bus.set_fault_port(&plan.port("can0"));
+  plan.window(sim::SimTime::from_ms(1), sim::SimTime::from_ms(100),
+              {"can0", sim::FaultKind::kFrameDuplicate, 1.0});
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(sim::SimTime::from_ms(2 + 2 * i), [&, i] {
+      CanFrame f;
+      f.id = 0x18;
+      f.data = tx.protect(Bytes{static_cast<std::uint8_t>(i)});
+      bus.send(&tx_node, f);
+    });
+  }
+  sched.run();
+
+  // Every frame arrived twice: original checks kOk, echo checks kRepeated,
+  // and the E2E-layer count matches the bus-layer duplication count.
+  ASSERT_EQ(rx_node.statuses.size(), 10u);
+  EXPECT_EQ(rx.ok(), 5u);
+  EXPECT_EQ(rx.repeated(), 5u);
+  EXPECT_EQ(rx.wrong_crc(), 0u);
+  EXPECT_EQ(rx.wrong_sequence(), 0u);
+  EXPECT_EQ(t.metrics->counter_value("can.can0.frames_duplicated"),
+            rx.repeated());
+  EXPECT_EQ(plan.unrecovered(), 0u);
 }
 
 TEST(E2e, CounterWrapsAt15) {
