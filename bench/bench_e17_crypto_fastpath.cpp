@@ -1,0 +1,227 @@
+// Experiment E17 — P-256 verification fast path and verify-result caching
+// (paper §4.2: V2X signature verification is the dominant per-message cost;
+// §5: OTA clients re-verify identical metadata every poll cycle).
+//
+// Three measurements:
+//   1. Raw verify throughput, Shamir 1-bit reference vs the comb/wNAF fast
+//      path, over seeded random (key, digest, signature) triples. Every
+//      verdict is cross-checked bit-for-bit; the process exit code is the
+//      number of fast/slow disagreements (0 = equivalent).
+//   2. VerifyEngine cache behavior under pseudonym churn: a receiver
+//      re-validates each sender's pseudonym cert once per BSM until the
+//      fleet rotates, swept over cache capacities. Hits/calls/evictions are
+//      deterministic counters.
+//   3. The E2 neighbor-saturation point re-derived from the measured
+//      software verify cost (10 Hz BSM, single-core budget), alongside the
+//      350 us HSM model E2 ships with.
+//
+// `--seed N` (default 42) fixes every random draw. `--smoke` shrinks the
+// sweep AND suppresses every timing-derived number, so two smoke runs with
+// the same seed emit byte-identical output (chaos-smoke CI diffs them).
+
+#include <algorithm>
+#include <ctime>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/verify_engine.hpp"
+#include "sim/telemetry.hpp"
+#include "util/rng.hpp"
+
+using namespace aseck;
+
+namespace {
+
+struct SignedDigest {
+  crypto::EcdsaPrivateKey key;
+  crypto::Digest digest{};
+  crypto::EcdsaSignature sig;
+};
+
+crypto::EcdsaPrivateKey random_key(util::Rng& rng) {
+  std::array<std::uint8_t, 32> secret{};
+  for (auto& b : secret) b = static_cast<std::uint8_t>(rng.next_u32());
+  secret[31] |= 1;  // never zero mod n
+  return crypto::EcdsaPrivateKey::from_secret(
+      util::BytesView(secret.data(), secret.size()));
+}
+
+std::vector<SignedDigest> make_corpus(std::size_t n, util::Rng& rng) {
+  std::vector<SignedDigest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    crypto::EcdsaPrivateKey key = random_key(rng);
+    crypto::Digest d;
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_u32());
+    crypto::EcdsaSignature sig = key.sign_digest(d);
+    if (i % 16 == 0) sig.s = crypto::U256::from_u64(rng.next_u64() | 1);
+    out.push_back(SignedDigest{std::move(key), d, sig});
+  }
+  return out;
+}
+
+// Process CPU time, not wall clock: shared/oversubscribed runners inflate
+// wall time by whatever factor the scheduler feels like that minute, while
+// CPU time stays within a few percent run to run.
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  util::Rng rng(seed);
+
+  std::printf("E17: P-256 verification fast path + verify caching\n");
+  std::printf("(seed %llu%s)\n\n", static_cast<unsigned long long>(seed),
+              smoke ? ", smoke" : "");
+
+  // -------------------------------------------------------------- part 1
+  // Slow (Shamir reference) vs fast (comb + wNAF) verify, verdict-checked.
+  const std::size_t corpus_n = smoke ? 64 : 512;
+  const std::vector<SignedDigest> corpus = make_corpus(corpus_n, rng);
+  crypto::p256::init_fixed_base_tables();  // exclude table build from timing
+
+  // Alternate slow/fast passes and keep the per-pass minimum: even process
+  // CPU time drifts by tens of percent on a steal-heavy host, and
+  // interleaving keeps a transient slowdown from landing on only one side
+  // of the ratio.
+  std::vector<bool> slow_verdicts(corpus.size()), fast_verdicts(corpus.size());
+  const int reps = smoke ? 1 : 5;
+  double slow_s = 1e300, fast_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t_slow = cpu_seconds();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      slow_verdicts[i] = crypto::ecdsa_verify_digest_slow(
+          corpus[i].key.public_key(), corpus[i].digest, corpus[i].sig);
+    }
+    slow_s = std::min(slow_s, cpu_seconds() - t_slow);
+    const double t_fast = cpu_seconds();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      fast_verdicts[i] = crypto::ecdsa_verify_digest(
+          corpus[i].key.public_key(), corpus[i].digest, corpus[i].sig);
+    }
+    fast_s = std::min(fast_s, cpu_seconds() - t_fast);
+  }
+
+  std::size_t mismatches = 0;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (slow_verdicts[i] != fast_verdicts[i]) ++mismatches;
+    if (fast_verdicts[i]) ++valid;
+  }
+
+  std::printf("[1] verify throughput, %zu signatures (%zu valid, %zu corrupted)\n",
+              corpus.size(), valid, corpus.size() - valid);
+  std::printf("    verdict mismatches (fast vs slow): %zu\n", mismatches);
+  if (!smoke) {
+    // The seed's measured verify cost (EXPERIMENTS.md Calibration: "ECDSA
+    // verify 0.48 ms") — wall clock on a loaded runner, so only a sanity
+    // anchor. The in-binary shamir row reproduces the seed's exact kernel
+    // (same formulas, same per-op 512-bit reduction round trip) under the
+    // same CPU-time clock as the fast row, so the vs-shamir ratio is the
+    // honest "what did this PR buy" number.
+    const double seed_us = 480.0;
+    const double slow_us = slow_s * 1e6 / static_cast<double>(corpus.size());
+    const double fast_us = fast_s * 1e6 / static_cast<double>(corpus.size());
+    benchutil::Table t1({"path", "total_ms", "per_verify_us", "verifies_per_s"});
+    t1.add_row({"seed_calibration", "-", benchutil::fmt("%.1f", seed_us),
+                benchutil::fmt("%.0f", 1e6 / seed_us)});
+    t1.add_row({"shamir_1bit", benchutil::fmt("%.1f", slow_s * 1e3),
+                benchutil::fmt("%.1f", slow_us),
+                benchutil::fmt("%.0f", corpus.size() / slow_s)});
+    t1.add_row({"wnaf_fast", benchutil::fmt("%.1f", fast_s * 1e3),
+                benchutil::fmt("%.1f", fast_us),
+                benchutil::fmt("%.0f", corpus.size() / fast_s)});
+    t1.print();
+    std::printf("    speedup vs in-binary shamir: %.2fx\n", slow_s / fast_s);
+    std::printf("    speedup vs seed calibration: %.2fx\n", seed_us / fast_us);
+  }
+  std::printf("\n");
+
+  // -------------------------------------------------------------- part 2
+  // VerifyEngine cache under pseudonym churn. `fleet` senders each sign one
+  // cert-like digest per rotation epoch; the receiver validates the current
+  // cert of a sender for every BSM it hears from it (bsm_per_epoch per
+  // epoch). Distinct certs per epoch stress capacity; repeats hit.
+  const std::size_t fleet = smoke ? 8 : 48;
+  const std::size_t epochs = smoke ? 2 : 4;
+  const std::size_t bsm_per_epoch = smoke ? 4 : 10;
+  std::vector<crypto::EcdsaPrivateKey> keys;
+  for (std::size_t v = 0; v < fleet; ++v) keys.push_back(random_key(rng));
+
+  std::printf("[2] verify cache under pseudonym churn "
+              "(%zu vehicles, %zu epochs, %zu BSM/epoch)\n",
+              fleet, epochs, bsm_per_epoch);
+  benchutil::Table t2({"cache_cap", "calls", "cache_hits", "hit_pct",
+                       "evictions", "resident"});
+  for (const std::size_t cap : {std::size_t{8}, std::size_t{32},
+                                std::size_t{4096}}) {
+    crypto::VerifyEngine eng;
+    eng.set_cache_capacity(cap);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      // Each vehicle mints a fresh pseudonym cert digest this epoch.
+      std::vector<SignedDigest> certs;
+      certs.reserve(fleet);
+      for (std::size_t v = 0; v < fleet; ++v) {
+        crypto::Digest d;
+        for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_u32());
+        certs.push_back(SignedDigest{keys[v], d, keys[v].sign_digest(d)});
+      }
+      for (std::size_t r = 0; r < bsm_per_epoch; ++r) {
+        for (std::size_t v = 0; v < fleet; ++v) {
+          (void)eng.verify_digest(certs[v].key.public_key(), certs[v].digest,
+                                  certs[v].sig);
+        }
+      }
+    }
+    const double hit_pct =
+        eng.calls() ? 100.0 * static_cast<double>(eng.cache_hits()) /
+                          static_cast<double>(eng.calls())
+                    : 0.0;
+    t2.add_row({benchutil::fmt_u(cap), benchutil::fmt_u(eng.calls()),
+                benchutil::fmt_u(eng.cache_hits()),
+                benchutil::fmt("%.1f", hit_pct),
+                benchutil::fmt_u(eng.evictions()),
+                benchutil::fmt_u(eng.cache_size())});
+  }
+  t2.print();
+  std::printf("\n");
+
+  // -------------------------------------------------------------- part 3
+  // E2 neighbor saturation: at 10 Hz BSM a single verifying core has
+  // 100000 us of budget per neighbor-second; saturation = 1e5 / verify_us.
+  std::printf("[3] E2 neighbor-saturation point (10 Hz BSM, one core)\n");
+  if (smoke) {
+    std::printf("    (timing-derived rows skipped in smoke mode)\n");
+  } else {
+    const double slow_us = slow_s * 1e6 / corpus.size();
+    const double fast_us = fast_s * 1e6 / corpus.size();
+    benchutil::Table t3({"verify_model", "per_verify_us", "max_neighbors"});
+    t3.add_row({"hsm_model_e2", benchutil::fmt("%.0f", 350.0),
+                benchutil::fmt("%.0f", 1e5 / 350.0)});
+    t3.add_row({"sw_shamir_1bit", benchutil::fmt("%.1f", slow_us),
+                benchutil::fmt("%.0f", 1e5 / slow_us)});
+    t3.add_row({"sw_wnaf_fast", benchutil::fmt("%.1f", fast_us),
+                benchutil::fmt("%.0f", 1e5 / fast_us)});
+    t3.print();
+  }
+
+  return static_cast<int>(mismatches);
+}

@@ -15,21 +15,47 @@ U256 digest_to_scalar(const Digest& d) {
   return mod_generic(z, p256::N());
 }
 
-/// Deterministic nonce: k = HMAC(d_bytes, digest || counter) reduced mod n,
-/// retried until valid. Simplified RFC 6979 construction.
+/// Retry budget for nonce derivation. Each candidate is zero mod n with
+/// probability ~2^-256, so exhausting this means the HMAC itself is broken —
+/// fail loudly rather than looping (or, as the former std::uint8_t counter
+/// did, silently wrapping and re-offering the same 256 candidates forever).
+constexpr std::uint32_t kMaxNonceRetries = 1024;
+
+/// Deterministic nonce: k = nonce_candidate(d, digest, counter) retried
+/// until valid. Simplified RFC 6979 construction.
 U256 derive_nonce(const U256& d, const Digest& digest) {
-  const util::Bytes key = d.to_bytes();
-  for (std::uint8_t counter = 0;; ++counter) {
-    util::Bytes msg(digest.begin(), digest.end());
-    msg.push_back(counter);
-    const Digest h = hmac_sha256(key, msg);
-    const U256 k = mod_generic(
-        U256::from_bytes(util::BytesView(h.data(), h.size())), p256::N());
+  for (std::uint32_t counter = 0; counter < kMaxNonceRetries; ++counter) {
+    const U256 k = detail::nonce_candidate(d, digest, counter);
     if (!k.is_zero()) return k;
   }
+  throw std::runtime_error(
+      "derive_nonce: retry budget exhausted (HMAC stream degenerate)");
 }
 
 }  // namespace
+
+namespace detail {
+
+U256 nonce_candidate(const U256& d, const Digest& digest,
+                     std::uint32_t counter) {
+  const util::Bytes key = d.to_bytes();
+  util::Bytes msg(digest.begin(), digest.end());
+  if (counter < 0x100) {
+    // Single-byte encoding: keeps signatures byte-identical to the original
+    // scheme for the (overwhelmingly common) low-retry region.
+    msg.push_back(static_cast<std::uint8_t>(counter));
+  } else {
+    // Beyond the old std::uint8_t range, widen the encoding so candidate
+    // streams never repeat (the former counter wrapped 256 -> 0 here).
+    msg.push_back(0xff);
+    util::append_be(msg, counter, 4);
+  }
+  const Digest h = hmac_sha256(key, msg);
+  return mod_generic(U256::from_bytes(util::BytesView(h.data(), h.size())),
+                     p256::N());
+}
+
+}  // namespace detail
 
 util::Bytes EcdsaSignature::to_bytes() const {
   util::Bytes out = r.to_bytes();
@@ -117,8 +143,12 @@ bool ecdsa_verify(const EcdsaPublicKey& pub, util::BytesView msg,
   return ecdsa_verify_digest(pub, sha256(msg), sig);
 }
 
-bool ecdsa_verify_digest(const EcdsaPublicKey& pub, const Digest& digest,
-                         const EcdsaSignature& sig) {
+namespace {
+
+/// Shared verification skeleton; `shamir` selects the reference 1-bit
+/// double-scalar path instead of the wNAF fast path.
+bool verify_digest_impl(const EcdsaPublicKey& pub, const Digest& digest,
+                        const EcdsaSignature& sig, bool shamir) {
   const U256& n = p256::N();
   if (sig.r.is_zero() || sig.s.is_zero()) return false;
   if (cmp(sig.r, n) >= 0 || cmp(sig.s, n) >= 0) return false;
@@ -127,10 +157,30 @@ bool ecdsa_verify_digest(const EcdsaPublicKey& pub, const Digest& digest,
   const U256 w = inv_mod_prime(sig.s, n);
   const U256 u1 = mul_mod(z, w, n);
   const U256 u2 = mul_mod(sig.r, w, n);
-  const p256::JacobianPoint X = p256::double_scalar_mult(u1, u2, pub.point);
-  if (X.is_infinity()) return false;
-  const p256::AffinePoint Xa = p256::to_affine(X);
-  return mod_generic(Xa.x, n) == sig.r;
+  if (shamir) {
+    // Reference path: full affine conversion, x reduced mod n (the seed's
+    // exact final step).
+    const p256::JacobianPoint X =
+        p256::double_scalar_mult_shamir(u1, u2, pub.point);
+    if (X.is_infinity()) return false;
+    const p256::AffinePoint Xa = p256::to_affine(X);
+    return mod_generic(Xa.x, n) == sig.r;
+  }
+  // Fast path: compare in Jacobian coordinates, skipping the inversion.
+  return p256::x_equals_mod_n(p256::double_scalar_mult(u1, u2, pub.point),
+                              sig.r);
+}
+
+}  // namespace
+
+bool ecdsa_verify_digest(const EcdsaPublicKey& pub, const Digest& digest,
+                         const EcdsaSignature& sig) {
+  return verify_digest_impl(pub, digest, sig, /*shamir=*/false);
+}
+
+bool ecdsa_verify_digest_slow(const EcdsaPublicKey& pub, const Digest& digest,
+                              const EcdsaSignature& sig) {
+  return verify_digest_impl(pub, digest, sig, /*shamir=*/true);
 }
 
 std::optional<util::Bytes> ecdh_shared(const EcdsaPrivateKey& mine,

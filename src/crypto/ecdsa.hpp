@@ -59,6 +59,20 @@ bool ecdsa_verify(const EcdsaPublicKey& pub, util::BytesView msg,
                   const EcdsaSignature& sig);
 bool ecdsa_verify_digest(const EcdsaPublicKey& pub, const Digest& digest,
                          const EcdsaSignature& sig);
+/// Reference verification on the 1-bit Shamir double-scalar path. Must agree
+/// bit-for-bit with ecdsa_verify_digest; kept for equivalence tests and the
+/// E17 slow-vs-fast throughput sweep.
+bool ecdsa_verify_digest_slow(const EcdsaPublicKey& pub, const Digest& digest,
+                              const EcdsaSignature& sig);
+
+namespace detail {
+/// The counter-th deterministic nonce candidate for (d, digest), reduced mod
+/// n. Exposed so tests can prove the candidate stream never repeats (the
+/// former std::uint8_t retry counter wrapped at 256, silently re-offering
+/// the same candidates).
+U256 nonce_candidate(const U256& d, const Digest& digest,
+                     std::uint32_t counter);
+}  // namespace detail
 
 /// ECDH: shared secret = x-coordinate of d * Q, expanded through HKDF with
 /// the given info label. Returns nullopt for invalid peer keys.

@@ -1,5 +1,7 @@
 #include "crypto/p256.hpp"
 
+#include <cstring>
+
 namespace aseck::crypto::p256 {
 
 namespace {
@@ -23,8 +25,11 @@ const U256& B() { return kB; }
 const U256& Gx() { return kGx; }
 const U256& Gy() { return kGy; }
 
-U256 reduce_p(const U512& x) {
-  const auto& c = x.w;
+namespace {
+
+/// NIST fast-reduction core over the 16 32-bit words of a 512-bit product;
+/// shared by reduce_p (U512 API) and the fused multiply/square paths below.
+U256 reduce_words(const std::uint32_t* c) {
   // NIST fast reduction for p256 (Hankerson-Menezes-Vanstone Alg. 2.29):
   // r = T + 2*S1 + 2*S2 + S3 + S4 - D1 - D2 - D3 - D4 mod p, with the
   // 32-bit word selections below (index 0 = least significant word).
@@ -71,20 +76,95 @@ U256 reduce_p(const U512& x) {
   return r;
 }
 
-namespace {
+/// Repacks a U256 into four 64-bit limbs (little-endian).
+inline void load_limbs(std::uint64_t out[4], const U256& a) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[i] = std::uint64_t{a.w[2 * i]} | (std::uint64_t{a.w[2 * i + 1]} << 32);
+  }
+}
+
+/// Reduces an 8-limb (64-bit) product without the U512 round trip.
+inline U256 reduce_limbs(const std::uint64_t rl[8]) {
+  std::uint32_t c[16];
+  for (std::size_t i = 0; i < 8; ++i) {
+    c[2 * i] = static_cast<std::uint32_t>(rl[i]);
+    c[2 * i + 1] = static_cast<std::uint32_t>(rl[i] >> 32);
+  }
+  return reduce_words(c);
+}
+
 std::uint64_t g_fieldops = 0;
+
 }  // namespace
+
+U256 reduce_p(const U512& x) { return reduce_words(x.w.data()); }
 
 void reset_fieldop_count() { g_fieldops = 0; }
 std::uint64_t fieldop_count() { return g_fieldops; }
 
 U256 fadd(const U256& a, const U256& b) { return add_mod(a, b, kP); }
 U256 fsub(const U256& a, const U256& b) { return sub_mod(a, b, kP); }
+
 U256 fmul(const U256& a, const U256& b) {
   ++g_fieldops;
-  return reduce_p(mul(a, b));
+  // Fused schoolbook multiply (4x4 64-bit limbs, 16 wide products) + NIST
+  // reduction, keeping the whole product in registers.
+  std::uint64_t al[4], bl[4], rl[8] = {};
+  load_limbs(al, a);
+  load_limbs(bl, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const __uint128_t t =
+          static_cast<__uint128_t>(al[i]) * bl[j] + rl[i + j] + carry;
+      rl[i + j] = static_cast<std::uint64_t>(t);
+      carry = static_cast<std::uint64_t>(t >> 64);
+    }
+    rl[i + 4] = carry;
+  }
+  return reduce_limbs(rl);
 }
-U256 fsqr(const U256& a) { return fmul(a, a); }
+
+U256 fsqr(const U256& a) {
+  ++g_fieldops;
+  // Dedicated squaring: the 6 cross products a_i*a_j (i < j) are computed
+  // once and doubled, so only 10 wide multiplies instead of fmul's 16.
+  std::uint64_t al[4], rl[8] = {};
+  load_limbs(al, a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const __uint128_t t =
+          static_cast<__uint128_t>(al[i]) * al[j] + rl[i + j] + carry;
+      rl[i + j] = static_cast<std::uint64_t>(t);
+      carry = static_cast<std::uint64_t>(t >> 64);
+    }
+    if (i < 3) rl[i + 4] = carry;
+  }
+  // Double the cross-term sum. It is at most the full square, so the shift
+  // cannot carry out of limb 7.
+  std::uint64_t carry = 0;
+  for (std::size_t k = 1; k < 8; ++k) {
+    const std::uint64_t hi = rl[k] >> 63;
+    rl[k] = (rl[k] << 1) | carry;
+    carry = hi;
+  }
+  // Add the diagonal squares a_i^2 at limb offset 2i.
+  std::uint64_t c2 = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const __uint128_t s = static_cast<__uint128_t>(al[i]) * al[i];
+    __uint128_t t = static_cast<__uint128_t>(rl[2 * i]) +
+                    static_cast<std::uint64_t>(s) + c2;
+    rl[2 * i] = static_cast<std::uint64_t>(t);
+    c2 = static_cast<std::uint64_t>(t >> 64);
+    t = static_cast<__uint128_t>(rl[2 * i + 1]) +
+        static_cast<std::uint64_t>(s >> 64) + c2;
+    rl[2 * i + 1] = static_cast<std::uint64_t>(t);
+    c2 = static_cast<std::uint64_t>(t >> 64);
+  }
+  return reduce_limbs(rl);
+}
+
 U256 finv(const U256& a) { return inv_mod_prime(a, kP); }
 
 JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
@@ -100,24 +180,70 @@ AffinePoint to_affine(const JacobianPoint& p) {
   return AffinePoint{fmul(p.x, zinv2), fmul(p.y, zinv3), false};
 }
 
+bool x_equals_mod_n(const JacobianPoint& pt, const U256& r) {
+  if (pt.is_infinity()) return false;
+  // x = X / Z^2, so x == r  <=>  X == r * Z^2 (mod p), with no inversion.
+  const U256 z2 = fsqr(pt.z);
+  if (fmul(r, z2) == pt.x) return true;
+  // p < 2n, so x = r + n is the only other field element with x mod n == r,
+  // and only when it is actually < p, i.e. r < p - n.
+  U256 p_minus_n;
+  sub(p_minus_n, kP, kN);
+  if (cmp(r, p_minus_n) < 0) {
+    U256 rn;
+    add(rn, r, kN);  // no carry: r + n < p < 2^256
+    return fmul(rn, z2) == pt.x;
+  }
+  return false;
+}
+
+std::vector<AffinePoint> batch_to_affine(const std::vector<JacobianPoint>& in) {
+  std::vector<AffinePoint> out(in.size(), AffinePoint::make_infinity());
+  // prefix[k] = product of the z's of the first k finite points; a z == 0
+  // (infinity) entry must never enter the chain or the whole batch degrades
+  // to garbage after the single inversion.
+  std::vector<U256> prefix;
+  prefix.reserve(in.size());
+  U256 acc = U256::one();
+  for (const JacobianPoint& p : in) {
+    if (p.is_infinity()) continue;
+    prefix.push_back(acc);
+    acc = fmul(acc, p.z);
+  }
+  if (prefix.empty()) return out;
+  U256 inv = finv(acc);  // 1 / (z_1 * ... * z_m)
+  std::size_t k = prefix.size();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    const JacobianPoint& p = in[i];
+    if (p.is_infinity()) continue;
+    --k;
+    const U256 zinv = fmul(inv, prefix[k]);
+    inv = fmul(inv, p.z);
+    const U256 zinv2 = fsqr(zinv);
+    out[i] = AffinePoint{fmul(p.x, zinv2), fmul(p.y, fmul(zinv2, zinv)), false};
+  }
+  return out;
+}
+
 JacobianPoint dbl(const JacobianPoint& p) {
   if (p.is_infinity() || p.y.is_zero()) return JacobianPoint::make_infinity();
   // dbl-2001-b (a = -3):
   const U256 delta = fsqr(p.z);
   const U256 gamma = fsqr(p.y);
   const U256 beta = fmul(p.x, gamma);
+  const U256 xmd = fsub(p.x, delta);
   const U256 alpha =
-      fmul(fadd(fadd(fsub(p.x, delta), fsub(p.x, delta)), fsub(p.x, delta)),
-           fadd(p.x, delta));  // 3*(x-delta)*(x+delta)
-  const U256 beta4 = fadd(fadd(beta, beta), fadd(beta, beta));
+      fmul(fadd(fadd(xmd, xmd), xmd), fadd(p.x, delta));  // 3(x-d)(x+d)
+  const U256 beta2 = fadd(beta, beta);
+  const U256 beta4 = fadd(beta2, beta2);
   const U256 beta8 = fadd(beta4, beta4);
   JacobianPoint r;
   r.x = fsub(fsqr(alpha), beta8);
   r.z = fsub(fsub(fsqr(fadd(p.y, p.z)), gamma), delta);
   const U256 gamma2 = fsqr(gamma);
-  const U256 gamma2_8 =
-      fadd(fadd(fadd(gamma2, gamma2), fadd(gamma2, gamma2)),
-           fadd(fadd(gamma2, gamma2), fadd(gamma2, gamma2)));
+  const U256 gamma2_2 = fadd(gamma2, gamma2);
+  const U256 gamma2_4 = fadd(gamma2_2, gamma2_2);
+  const U256 gamma2_8 = fadd(gamma2_4, gamma2_4);
   r.y = fsub(fmul(alpha, fsub(beta4, r.x)), gamma2_8);
   return r;
 }
@@ -182,28 +308,583 @@ JacobianPoint scalar_mult_ladder(const U256& k, const AffinePoint& p,
   return r0;
 }
 
+namespace {
+
+// --- 64-bit limb field layer ------------------------------------------------
+//
+// The scalar-mult hot loops run on a 4x64-bit limb representation (Fe): no
+// 32<->64 repacking per field op, fully inlined add/sub, and the same NIST
+// reduction working directly on the 8-limb product. Values are canonical
+// (< p). Conversions to/from U256 happen only at API boundaries.
+
+// Field elements in the scalar-mult hot path live in Montgomery form:
+// Fe holds x * 2^256 mod p on 64-bit limbs. p = -1 mod 2^64 makes the
+// per-word Montgomery quotient the low word itself (n0' = 1), so the
+// reduction needs no quotient multiply — it is ~1.5x faster than the
+// 32-bit-lane NIST reduction the U256-facing fmul/fsqr use.
+struct Fe {
+  std::uint64_t l[4];  // little-endian 64-bit limbs, Montgomery domain
+};
+
+constexpr Fe kPFe{{0xffffffffffffffffULL, 0x00000000ffffffffULL, 0ULL,
+                   0xffffffff00000001ULL}};
+// 2^256 mod p: Montgomery representation of 1.
+constexpr Fe kMontOne{{0x0000000000000001ULL, 0xffffffff00000000ULL,
+                       0xffffffffffffffffULL, 0x00000000fffffffeULL}};
+// 2^512 mod p: multiplying by it (with Montgomery reduction) converts a
+// plain residue into the Montgomery domain.
+constexpr Fe kMontRR{{0x0000000000000003ULL, 0xfffffffbffffffffULL,
+                      0xfffffffffffffffeULL, 0x00000004fffffffdULL}};
+
+inline Fe fe_zero() { return Fe{{0, 0, 0, 0}}; }
+inline Fe fe_one() { return kMontOne; }
+
+inline bool fe_is_zero(const Fe& a) {
+  return (a.l[0] | a.l[1] | a.l[2] | a.l[3]) == 0;
+}
+
+inline std::uint64_t fe_add_raw(Fe& r, const Fe& a, const Fe& b) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const __uint128_t t = static_cast<__uint128_t>(a.l[i]) + b.l[i] + carry;
+    r.l[i] = static_cast<std::uint64_t>(t);
+    carry = static_cast<std::uint64_t>(t >> 64);
+  }
+  return carry;
+}
+
+inline std::uint64_t fe_sub_raw(Fe& r, const Fe& a, const Fe& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const __uint128_t t =
+        static_cast<__uint128_t>(a.l[i]) - b.l[i] - borrow;
+    r.l[i] = static_cast<std::uint64_t>(t);
+    borrow = static_cast<std::uint64_t>(t >> 64) & 1u;
+  }
+  return borrow;
+}
+
+inline bool fe_geq_p(const Fe& a) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.l[i] != kPFe.l[i]) return a.l[i] > kPFe.l[i];
+  }
+  return true;
+}
+
+inline Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  const std::uint64_t carry = fe_add_raw(r, a, b);
+  if (carry || fe_geq_p(r)) {
+    Fe t;
+    fe_sub_raw(t, r, kPFe);
+    r = t;
+  }
+  return r;
+}
+
+inline Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe r;
+  if (fe_sub_raw(r, a, b)) {
+    Fe t;
+    fe_add_raw(t, r, kPFe);
+    r = t;
+  }
+  return r;
+}
+
+/// Montgomery reduction of an 8-limb product: returns t / 2^256 mod p.
+/// Each round folds the low limb with quotient m = t[i] (n0' = 1) and adds
+/// m * p shifted by i limbs; p[2] == 0 skips one multiply per round. The
+/// input is bounded by p^2 < p * 2^256, so the pre-subtraction result is
+/// < 2p and a single conditional subtract normalises it.
+inline Fe mont_redc(const std::uint64_t rl[8]) {
+  std::uint64_t t[9];
+  std::memcpy(t, rl, sizeof(std::uint64_t) * 8);
+  t[8] = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t m = t[i];
+    __uint128_t cc = static_cast<__uint128_t>(m) * kPFe.l[0] + t[i];
+    cc >>= 64;  // low limb annihilated by construction
+    cc += static_cast<__uint128_t>(m) * kPFe.l[1] + t[i + 1];
+    t[i + 1] = static_cast<std::uint64_t>(cc);
+    cc >>= 64;
+    cc += t[i + 2];  // p[2] == 0
+    t[i + 2] = static_cast<std::uint64_t>(cc);
+    cc >>= 64;
+    cc += static_cast<__uint128_t>(m) * kPFe.l[3] + t[i + 3];
+    t[i + 3] = static_cast<std::uint64_t>(cc);
+    cc >>= 64;
+    cc += t[i + 4];
+    t[i + 4] = static_cast<std::uint64_t>(cc);
+    std::uint64_t carry = static_cast<std::uint64_t>(cc >> 64);
+    for (int j = i + 5; carry && j < 9; ++j) {
+      const __uint128_t s = static_cast<__uint128_t>(t[j]) + carry;
+      t[j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+  }
+  Fe r{{t[4], t[5], t[6], t[7]}};
+  if (t[8] || fe_geq_p(r)) {
+    Fe s;
+    fe_sub_raw(s, r, kPFe);
+    r = s;
+  }
+  return r;
+}
+
+/// Fused Montgomery multiply (CIOS): each round adds a.l[i] * b into a
+/// six-limb accumulator and immediately folds with m = t0 (n0' = 1),
+/// shifting down one limb. Unlike a separate wide-product + mont_redc pass,
+/// the accumulator has no dynamically indexed carry ripple, so it lives
+/// entirely in registers — measured ~2x lower latency per multiply on the
+/// dependent chains that dominate scalar multiplication.
+inline Fe fe_mul(const Fe& a, const Fe& b) {
+  ++g_fieldops;
+  std::uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0, t4 = 0, t5 = 0;
+#define ASECK_CIOS_ROUND(ai)                                                \
+  {                                                                         \
+    const std::uint64_t x = (ai);                                           \
+    __uint128_t cc = static_cast<__uint128_t>(x) * b.l[0] + t0;             \
+    t0 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += static_cast<__uint128_t>(x) * b.l[1] + t1;                        \
+    t1 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += static_cast<__uint128_t>(x) * b.l[2] + t2;                        \
+    t2 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += static_cast<__uint128_t>(x) * b.l[3] + t3;                        \
+    t3 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += t4; t4 = static_cast<std::uint64_t>(cc);                          \
+    t5 = static_cast<std::uint64_t>(cc >> 64);                              \
+    const std::uint64_t m = t0;                                             \
+    cc = static_cast<__uint128_t>(m) * kPFe.l[0] + t0; cc >>= 64;           \
+    cc += static_cast<__uint128_t>(m) * kPFe.l[1] + t1;                     \
+    t0 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += t2; /* p[2] == 0 */                                               \
+    t1 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += static_cast<__uint128_t>(m) * kPFe.l[3] + t3;                     \
+    t2 = static_cast<std::uint64_t>(cc); cc >>= 64;                         \
+    cc += t4; t3 = static_cast<std::uint64_t>(cc);                          \
+    t4 = t5 + static_cast<std::uint64_t>(cc >> 64);                         \
+  }
+  ASECK_CIOS_ROUND(a.l[0])
+  ASECK_CIOS_ROUND(a.l[1])
+  ASECK_CIOS_ROUND(a.l[2])
+  ASECK_CIOS_ROUND(a.l[3])
+#undef ASECK_CIOS_ROUND
+  Fe r{{t0, t1, t2, t3}};
+  if (t4 || fe_geq_p(r)) {
+    Fe s;
+    fe_sub_raw(s, r, kPFe);
+    r = s;
+  }
+  return r;
+}
+
+/// Squaring reuses the CIOS multiply: the classic halve-the-cross-products
+/// square needs a full-width shift-double pass whose carry chain costs more
+/// than the duplicate multiplies save (measured: dedicated square 38 ns vs
+/// CIOS a*a 30 ns on the dependent chain).
+inline Fe fe_sqr(const Fe& a) { return fe_mul(a, a); }
+
+/// U256 -> Montgomery domain: one Montgomery multiply by 2^512 mod p.
+inline Fe fe_from(const U256& a) {
+  Fe r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.l[i] = std::uint64_t{a.w[2 * i]} | (std::uint64_t{a.w[2 * i + 1]} << 32);
+  }
+  return fe_mul(r, kMontRR);
+}
+
+/// Montgomery domain -> U256: reduce [a, 0...] (i.e. multiply by 1/R).
+inline U256 fe_to(const Fe& a) {
+  const std::uint64_t wide[8] = {a.l[0], a.l[1], a.l[2], a.l[3], 0, 0, 0, 0};
+  const Fe plain = mont_redc(wide);
+  U256 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.w[2 * i] = static_cast<std::uint32_t>(plain.l[i]);
+    r.w[2 * i + 1] = static_cast<std::uint32_t>(plain.l[i] >> 32);
+  }
+  return r;
+}
+
+// --- point ops on Fe --------------------------------------------------------
+
+struct AffFe {
+  Fe x, y;
+  bool inf;
+};
+
+struct JacFe {
+  Fe x, y, z;  // z == 0 encodes infinity, same as JacobianPoint
+};
+
+inline JacFe jacfe_infinity() { return JacFe{fe_zero(), fe_zero(), fe_zero()}; }
+inline bool jacfe_is_inf(const JacFe& p) { return fe_is_zero(p.z); }
+
+inline JacFe jacfe_from_aff(const AffFe& q) {
+  return JacFe{q.x, q.y, fe_one()};
+}
+
+inline AffFe afffe_from(const AffinePoint& p) {
+  return AffFe{fe_from(p.x), fe_from(p.y), p.infinity};
+}
+
+inline JacobianPoint jacfe_to(const JacFe& p) {
+  return JacobianPoint{fe_to(p.x), fe_to(p.y), fe_to(p.z)};
+}
+
+/// Negation of a finite affine point: (x, p - y). No P-256 point has y == 0
+/// (the curve has prime order and b != 0), so p - y stays in [1, p).
+inline AffFe afffe_neg(const AffFe& a) {
+  return AffFe{a.x, fe_sub(fe_zero(), a.y), false};
+}
+
+/// dbl-2001-b (a = -3), mirroring dbl() above limb-for-limb.
+JacFe dbl_fe(const JacFe& p) {
+  if (jacfe_is_inf(p) || fe_is_zero(p.y)) return jacfe_infinity();
+  const Fe delta = fe_sqr(p.z);
+  const Fe gamma = fe_sqr(p.y);
+  const Fe beta = fe_mul(p.x, gamma);
+  const Fe xmd = fe_sub(p.x, delta);
+  const Fe alpha = fe_mul(fe_add(fe_add(xmd, xmd), xmd), fe_add(p.x, delta));
+  const Fe beta2 = fe_add(beta, beta);
+  const Fe beta4 = fe_add(beta2, beta2);
+  const Fe beta8 = fe_add(beta4, beta4);
+  JacFe r;
+  r.x = fe_sub(fe_sqr(alpha), beta8);
+  r.z = fe_sub(fe_sub(fe_sqr(fe_add(p.y, p.z)), gamma), delta);
+  const Fe gamma2 = fe_sqr(gamma);
+  const Fe g2 = fe_add(gamma2, gamma2);
+  const Fe g4 = fe_add(g2, g2);
+  const Fe g8 = fe_add(g4, g4);
+  r.y = fe_sub(fe_mul(alpha, fe_sub(beta4, r.x)), g8);
+  return r;
+}
+
+/// Mixed addition, mirroring add_mixed() above limb-for-limb.
+JacFe add_mixed_fe(const JacFe& p, const AffFe& q) {
+  if (q.inf) return p;
+  if (jacfe_is_inf(p)) return jacfe_from_aff(q);
+  const Fe z1z1 = fe_sqr(p.z);
+  const Fe u2 = fe_mul(q.x, z1z1);
+  const Fe s2 = fe_mul(fe_mul(q.y, p.z), z1z1);
+  const Fe h = fe_sub(u2, p.x);
+  const Fe r_ = fe_sub(s2, p.y);
+  if (fe_is_zero(h)) {
+    if (fe_is_zero(r_)) return dbl_fe(p);
+    return jacfe_infinity();
+  }
+  const Fe h2 = fe_sqr(h);
+  const Fe h3 = fe_mul(h2, h);
+  const Fe x1h2 = fe_mul(p.x, h2);
+  JacFe out;
+  out.x = fe_sub(fe_sub(fe_sqr(r_), h3), fe_add(x1h2, x1h2));
+  out.y = fe_sub(fe_mul(r_, fe_sub(x1h2, out.x)), fe_mul(p.y, h3));
+  out.z = fe_mul(p.z, h);
+  return out;
+}
+
+/// General Jacobian + Jacobian addition (12M + 4S). Used to build odd-Q
+/// multiples without an affine (inversion) step per entry.
+JacFe add_fe(const JacFe& p, const JacFe& q) {
+  if (jacfe_is_inf(p)) return q;
+  if (jacfe_is_inf(q)) return p;
+  const Fe z1z1 = fe_sqr(p.z);
+  const Fe z2z2 = fe_sqr(q.z);
+  const Fe u1 = fe_mul(p.x, z2z2);
+  const Fe u2 = fe_mul(q.x, z1z1);
+  const Fe s1 = fe_mul(fe_mul(p.y, q.z), z2z2);
+  const Fe s2 = fe_mul(fe_mul(q.y, p.z), z1z1);
+  const Fe h = fe_sub(u2, u1);
+  const Fe r_ = fe_sub(s2, s1);
+  if (fe_is_zero(h)) {
+    if (fe_is_zero(r_)) return dbl_fe(p);
+    return jacfe_infinity();
+  }
+  const Fe h2 = fe_sqr(h);
+  const Fe h3 = fe_mul(h2, h);
+  const Fe u1h2 = fe_mul(u1, h2);
+  JacFe out;
+  out.x = fe_sub(fe_sub(fe_sqr(r_), h3), fe_add(u1h2, u1h2));
+  out.y = fe_sub(fe_mul(r_, fe_sub(u1h2, out.x)), fe_mul(s1, h3));
+  out.z = fe_mul(fe_mul(p.z, q.z), h);
+  return out;
+}
+
+/// Montgomery batch conversion of up to kBatchMax Jacobian points to affine
+/// with a single field inversion; infinity entries are skipped (their z == 0
+/// would poison the product chain).
+constexpr int kBatchMax = 8;
+
+void jacfe_batch_affine(const JacFe* in, AffFe* out, int m) {
+  Fe prefix[kBatchMax];
+  Fe acc = fe_one();
+  for (int i = 0; i < m; ++i) {
+    prefix[i] = acc;
+    if (!jacfe_is_inf(in[i])) acc = fe_mul(acc, in[i].z);
+  }
+  Fe inv = fe_from(inv_mod_prime(fe_to(acc), kP));
+  for (int i = m; i-- > 0;) {
+    if (jacfe_is_inf(in[i])) {
+      out[i] = AffFe{fe_zero(), fe_zero(), true};
+      continue;
+    }
+    const Fe zinv = fe_mul(inv, prefix[i]);
+    inv = fe_mul(inv, in[i].z);
+    const Fe z2 = fe_sqr(zinv);
+    out[i] = AffFe{fe_mul(in[i].x, z2), fe_mul(in[i].y, fe_mul(z2, zinv)),
+                   false};
+  }
+}
+
+// --- Fixed-base tables for k*G ----------------------------------------------
+//
+// comb[i][j-1] = j * 2^(4i) * G (affine), i in [0, 64), j in [1, 16).
+// Processing k one nibble at a time turns k*G into at most 64 mixed
+// additions with zero doublings. odd_g[m] = (2m+1) * G feeds the width-8
+// wNAF G-term of double_scalar_mult. ~100 KiB total, built lazily once.
+
+constexpr int kCombWindows = 64;   // 256 bits / 4-bit teeth
+constexpr int kCombEntries = 15;   // digits 1..15
+constexpr int kOddG = 64;          // 1G, 3G, ..., 127G (width-8 wNAF)
+
+struct FixedBaseTables {
+  AffFe comb[kCombWindows][kCombEntries];
+  AffFe odd_g[kOddG];
+};
+
+const FixedBaseTables& fixed_base() {
+  static const FixedBaseTables tables = [] {
+    FixedBaseTables t;
+    // Window bases B_i = 2^(4i) * G, then one batch inversion.
+    std::vector<JacobianPoint> bases;
+    bases.reserve(kCombWindows);
+    JacobianPoint b = JacobianPoint::from_affine(generator());
+    for (int i = 0; i < kCombWindows; ++i) {
+      bases.push_back(b);
+      if (i + 1 < kCombWindows) {
+        for (int d = 0; d < 4; ++d) b = dbl(b);
+      }
+    }
+    const std::vector<AffinePoint> bases_aff = batch_to_affine(bases);
+    // Entries j*B_i by chained mixed additions, then one batch inversion.
+    std::vector<JacobianPoint> entries;
+    entries.reserve(kCombWindows * kCombEntries);
+    for (int i = 0; i < kCombWindows; ++i) {
+      JacobianPoint acc = JacobianPoint::from_affine(bases_aff[i]);
+      for (int j = 1; j <= kCombEntries; ++j) {
+        entries.push_back(acc);
+        if (j < kCombEntries) acc = add_mixed(acc, bases_aff[i]);
+      }
+    }
+    const std::vector<AffinePoint> entries_aff = batch_to_affine(entries);
+    for (int i = 0; i < kCombWindows; ++i) {
+      for (int j = 0; j < kCombEntries; ++j) {
+        t.comb[i][j] = afffe_from(
+            entries_aff[static_cast<std::size_t>(i) * kCombEntries +
+                        static_cast<std::size_t>(j)]);
+      }
+    }
+    // Odd multiples 1G..63G: chained mixed additions of the affine 2G, one
+    // batch inversion (all one-time build cost).
+    const AffinePoint g2 =
+        to_affine(dbl(JacobianPoint::from_affine(generator())));
+    std::vector<JacobianPoint> odd;
+    odd.reserve(kOddG);
+    JacobianPoint oacc = JacobianPoint::from_affine(generator());
+    for (int m = 0; m < kOddG; ++m) {
+      odd.push_back(oacc);
+      if (m + 1 < kOddG) oacc = add_mixed(oacc, g2);
+    }
+    const std::vector<AffinePoint> odd_aff = batch_to_affine(odd);
+    for (int m = 0; m < kOddG; ++m) {
+      t.odd_g[m] = afffe_from(odd_aff[static_cast<std::size_t>(m)]);
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// --- wNAF expansion ---------------------------------------------------------
+
+/// Width-w non-adjacent form, w in [2, 8]: digits[i] are 0 or odd with
+/// |d| <= 2^(w-1) - 1, at most one nonzero digit per w-1 consecutive
+/// positions. Returns the digit count (<= 258 for any 256-bit k; the buffer
+/// is sized with headroom).
+constexpr std::size_t kMaxWnafDigits = 260;
+
+int wnaf(const U256& k, int width, std::int8_t (&digits)[kMaxWnafDigits]) {
+  const std::uint32_t mask = (1u << width) - 1;
+  const int half = 1 << (width - 1);
+  U256 x = k;
+  std::uint32_t overflow = 0;  // virtual bit 256 after a d < 0 correction
+  int n = 0;
+  while (!x.is_zero() || overflow) {
+    int d = 0;
+    if (x.is_odd()) {
+      const int m = static_cast<int>(x.w[0] & mask);
+      d = m >= half ? m - (1 << width) : m;
+      U256 tmp;
+      if (d > 0) {
+        sub(tmp, x, U256::from_u64(static_cast<std::uint64_t>(d)));
+      } else {
+        overflow += add(tmp, x, U256::from_u64(static_cast<std::uint64_t>(-d)));
+      }
+      x = tmp;
+    }
+    digits[n++] = static_cast<std::int8_t>(d);
+    shr1(x);
+    if (overflow) {
+      x.w[7] |= 0x80000000u;
+      overflow = 0;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+void init_fixed_base_tables() { (void)fixed_base(); }
+
 JacobianPoint scalar_mult_base(const U256& k) {
-  return scalar_mult(k, generator());
+  const FixedBaseTables& t = fixed_base();
+  JacFe r = jacfe_infinity();
+  for (int i = 0; i < kCombWindows; ++i) {
+    const unsigned d = (k.w[static_cast<std::size_t>(i / 8)] >>
+                        (4u * static_cast<unsigned>(i % 8))) &
+                       0xfu;
+    if (d) r = add_mixed_fe(r, t.comb[i][d - 1]);
+  }
+  return jacfe_to(r);
 }
 
 JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
                                  const AffinePoint& q) {
+  std::int8_t d1[kMaxWnafDigits], d2[kMaxWnafDigits];
+  // G gets width 8 (static 64-entry table); Q gets width 4 (its 4-entry odd
+  // table is built per call). An infinite Q contributes nothing; skip its
+  // expansion and table.
+  const int n1 = wnaf(u1, 8, d1);
+  const int n2 = q.infinity ? 0 : wnaf(u2, 4, d2);
+
+  // Odd multiples of Q: 1Q, 3Q, 5Q, 7Q. 3Q..7Q are chained in Jacobian form
+  // (one general addition each, no per-entry inversion), then converted with
+  // a single batched inversion. The infinity guard in the batch keeps the
+  // product chain sound even for adversarial q (e.g. 3Q = O cannot happen on
+  // the prime-order curve, but nothing here relies on that).
+  AffFe odd_q[4];
+  if (n2 > 0) {
+    const AffFe qa = afffe_from(q);
+    const JacFe qj = jacfe_from_aff(qa);
+    const JacFe q2 = dbl_fe(qj);
+    JacFe mults[3];
+    mults[0] = add_mixed_fe(q2, qa);           // 3Q
+    mults[1] = add_fe(mults[0], q2);           // 5Q
+    mults[2] = add_fe(mults[1], q2);           // 7Q
+    AffFe aff[3];
+    jacfe_batch_affine(mults, aff, 3);
+    odd_q[0] = qa;
+    for (int m = 0; m < 3; ++m) odd_q[m + 1] = aff[m];
+  }
+
+  const FixedBaseTables& t = fixed_base();
+  JacFe r = jacfe_infinity();
+  for (int i = std::max(n1, n2); i-- > 0;) {
+    r = dbl_fe(r);
+    if (i < n1 && d1[i] != 0) {
+      const AffFe& m = t.odd_g[(d1[i] > 0 ? d1[i] : -d1[i]) / 2];
+      r = add_mixed_fe(r, d1[i] > 0 ? m : afffe_neg(m));
+    }
+    if (i < n2 && d2[i] != 0) {
+      const AffFe& m = odd_q[(d2[i] > 0 ? d2[i] : -d2[i]) / 2];
+      if (!m.inf) r = add_mixed_fe(r, d2[i] > 0 ? m : afffe_neg(m));
+    }
+  }
+  return jacfe_to(r);
+}
+
+namespace {
+
+// --- Seed reference kernel --------------------------------------------------
+//
+// double_scalar_mult_shamir is the *seed's* verify kernel, preserved
+// byte-for-byte in behaviour AND cost model: its field ops round-trip the
+// full product through U512 + reduce_p and square via a general multiply,
+// exactly as the seed did. It exists for bit-for-bit differential testing
+// and as the honest baseline in the E17 slow-vs-fast sweep; keeping it on
+// the modern fused field core would silently flatter the baseline.
+
+U256 ref_fmul(const U256& a, const U256& b) {
+  ++g_fieldops;
+  return reduce_p(mul(a, b));
+}
+U256 ref_fsqr(const U256& a) { return ref_fmul(a, a); }
+
+JacobianPoint ref_dbl(const JacobianPoint& p) {
+  if (p.is_infinity() || p.y.is_zero()) return JacobianPoint::make_infinity();
+  // dbl-2001-b (a = -3), spelled as in the seed:
+  const U256 delta = ref_fsqr(p.z);
+  const U256 gamma = ref_fsqr(p.y);
+  const U256 beta = ref_fmul(p.x, gamma);
+  const U256 alpha =
+      ref_fmul(fadd(fadd(fsub(p.x, delta), fsub(p.x, delta)), fsub(p.x, delta)),
+               fadd(p.x, delta));  // 3*(x-delta)*(x+delta)
+  const U256 beta4 = fadd(fadd(beta, beta), fadd(beta, beta));
+  const U256 beta8 = fadd(beta4, beta4);
+  JacobianPoint r;
+  r.x = fsub(ref_fsqr(alpha), beta8);
+  r.z = fsub(fsub(ref_fsqr(fadd(p.y, p.z)), gamma), delta);
+  const U256 gamma2 = ref_fsqr(gamma);
+  const U256 gamma2_8 =
+      fadd(fadd(fadd(gamma2, gamma2), fadd(gamma2, gamma2)),
+           fadd(fadd(gamma2, gamma2), fadd(gamma2, gamma2)));
+  r.y = fsub(ref_fmul(alpha, fsub(beta4, r.x)), gamma2_8);
+  return r;
+}
+
+JacobianPoint ref_add_mixed(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  if (p.is_infinity()) return JacobianPoint::from_affine(q);
+  const U256 z1z1 = ref_fsqr(p.z);
+  const U256 u2 = ref_fmul(q.x, z1z1);
+  const U256 s2 = ref_fmul(ref_fmul(q.y, p.z), z1z1);
+  const U256 h = fsub(u2, p.x);
+  const U256 r_ = fsub(s2, p.y);
+  if (h.is_zero()) {
+    if (r_.is_zero()) return ref_dbl(p);
+    return JacobianPoint::make_infinity();
+  }
+  const U256 h2 = ref_fsqr(h);
+  const U256 h3 = ref_fmul(h2, h);
+  const U256 x1h2 = ref_fmul(p.x, h2);
+  JacobianPoint out;
+  out.x = fsub(fsub(ref_fsqr(r_), h3), fadd(x1h2, x1h2));
+  out.y = fsub(ref_fmul(r_, fsub(x1h2, out.x)), ref_fmul(p.y, h3));
+  out.z = ref_fmul(p.z, h);
+  return out;
+}
+
+}  // namespace
+
+JacobianPoint double_scalar_mult_shamir(const U256& u1, const U256& u2,
+                                        const AffinePoint& q) {
   // Shamir's trick: interleaved double-and-add with precomputed G+Q.
   const AffinePoint g = generator();
-  const JacobianPoint gq_j = add_mixed(JacobianPoint::from_affine(g), q);
-  const AffinePoint gq = to_affine(gq_j);
+  const JacobianPoint gq_j = ref_add_mixed(JacobianPoint::from_affine(g), q);
+  // G + Q is infinite when q == -G; the affine sum only exists when finite.
+  const AffinePoint gq =
+      gq_j.is_infinity() ? AffinePoint::make_infinity() : to_affine(gq_j);
   JacobianPoint r = JacobianPoint::make_infinity();
   const int top = std::max(u1.top_bit(), u2.top_bit());
   for (int i = top; i >= 0; --i) {
-    r = dbl(r);
+    r = ref_dbl(r);
     const bool b1 = i >= 0 && u1.bit(static_cast<unsigned>(i));
     const bool b2 = i >= 0 && u2.bit(static_cast<unsigned>(i));
     if (b1 && b2) {
-      r = gq_j.is_infinity() ? r : add_mixed(r, gq);
+      r = gq.infinity ? r : ref_add_mixed(r, gq);
     } else if (b1) {
-      r = add_mixed(r, g);
+      r = ref_add_mixed(r, g);
     } else if (b2) {
-      r = add_mixed(r, q);
+      r = ref_add_mixed(r, q);
     }
   }
   return r;

@@ -1,7 +1,15 @@
 #pragma once
 // NIST P-256 (secp256r1) elliptic curve arithmetic: fast NIST modular
 // reduction for the field prime, Jacobian-coordinate point operations, and
-// double-and-add scalar multiplication.
+// scalar multiplication.
+//
+// Two multiplication tiers exist:
+//  * the generic double-and-add / Montgomery-ladder routines (reference and
+//    side-channel-model paths), and
+//  * the verification fast path — a fixed-base 4-bit comb for k*G (precomputed
+//    multiples of G built once, lazily, with Montgomery batch inversion) and a
+//    4-bit-window wNAF interleaving for u1*G + u2*Q. These are what
+//    ecdsa_verify/sign run on; the E17 bench measures the speedup.
 //
 // NOTE: scalar multiplication here is *not* constant-time; timing leakage of
 // long-lived keys is exactly one of the side-channel classes the paper
@@ -9,6 +17,7 @@
 // would use a hardened ladder.
 
 #include <optional>
+#include <vector>
 
 #include "crypto/u256.hpp"
 
@@ -55,6 +64,12 @@ struct JacobianPoint {
 
 AffinePoint to_affine(const JacobianPoint& p);
 
+/// Converts a batch of Jacobian points to affine with a single field
+/// inversion (Montgomery's trick: prefix products, one finv, walk back).
+/// Infinity entries are skipped — their z == 0 must never enter the product
+/// chain — and map to affine infinity.
+std::vector<AffinePoint> batch_to_affine(const std::vector<JacobianPoint>& in);
+
 JacobianPoint dbl(const JacobianPoint& p);
 /// Mixed addition: Jacobian + affine.
 JacobianPoint add_mixed(const JacobianPoint& p, const AffinePoint& q);
@@ -72,11 +87,27 @@ JacobianPoint scalar_mult_ladder(const U256& k, const AffinePoint& p,
 /// and read around a scalar multiplication.
 void reset_fieldop_count();
 std::uint64_t fieldop_count();
-/// k * G.
+/// k * G via the fixed-base 4-bit comb table (64 windows x 15 odd/even
+/// multiples of G, built once on first use).
 JacobianPoint scalar_mult_base(const U256& k);
-/// u1*G + u2*Q (Shamir's trick), the ECDSA verification kernel.
+/// u1*G + u2*Q, the ECDSA verification kernel: wNAF expansions of u1
+/// (width 8, static odd-G table) and u2 (width 4, per-call odd-Q table,
+/// batch-inverted to affine) interleaved over one shared doubling chain.
 JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
                                  const AffinePoint& q);
+/// True iff pt's affine x-coordinate reduced mod the curve order equals r
+/// (the final ECDSA verification comparison, 0 < r < n). Tests the
+/// congruence X == r * Z^2 (mod p) — and the r + n second candidate —
+/// instead of paying a field inversion for the affine conversion.
+bool x_equals_mod_n(const JacobianPoint& pt, const U256& r);
+/// Reference 1-bit interleaved Shamir double-and-add (the previous
+/// double_scalar_mult). Kept as the slow path for bit-for-bit equivalence
+/// tests and the E17 slow-vs-fast sweep.
+JacobianPoint double_scalar_mult_shamir(const U256& u1, const U256& u2,
+                                        const AffinePoint& q);
+/// Forces construction of the lazy fixed-base tables (e.g. so benches can
+/// exclude the one-time build from measurements). Idempotent.
+void init_fixed_base_tables();
 
 /// True iff (x, y) satisfies the curve equation and both coords < p.
 bool on_curve(const AffinePoint& p);

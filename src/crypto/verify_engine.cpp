@@ -1,0 +1,84 @@
+#include "crypto/verify_engine.hpp"
+
+#include <chrono>
+
+namespace aseck::crypto {
+
+Digest VerifyEngine::cache_key(const EcdsaPublicKey& pub, const Digest& digest,
+                               const EcdsaSignature& sig) {
+  Sha256 h;
+  h.update(util::BytesView(digest.data(), digest.size()));
+  h.update(pub.to_bytes());
+  h.update(sig.to_bytes());
+  return h.finalize();
+}
+
+bool VerifyEngine::verify_digest(const EcdsaPublicKey& pub,
+                                 const Digest& digest,
+                                 const EcdsaSignature& sig) {
+  ++calls_;
+  if (c_calls_) c_calls_->inc();
+  const Digest key = cache_key(pub, digest, sig);
+  if (const bool* cached = cache_.find(key)) {
+    if (c_hits_) c_hits_->inc();
+    return *cached;
+  }
+  bool ok;
+  if (h_latency_us_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ok = ecdsa_verify_digest(pub, digest, sig);
+    const auto t1 = std::chrono::steady_clock::now();
+    h_latency_us_->record(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  } else {
+    ok = ecdsa_verify_digest(pub, digest, sig);
+  }
+  cache_.put(key, ok);
+  if (c_evictions_ && cache_.evictions() != exported_evictions_) {
+    c_evictions_->inc(cache_.evictions() - exported_evictions_);
+    exported_evictions_ = cache_.evictions();
+  }
+  return ok;
+}
+
+bool VerifyEngine::verify(const EcdsaPublicKey& pub, util::BytesView msg,
+                          const EcdsaSignature& sig) {
+  return verify_digest(pub, sha256(msg), sig);
+}
+
+std::vector<bool> VerifyEngine::verify_batch(
+    const std::vector<BatchItem>& items) {
+  std::vector<bool> verdicts;
+  verdicts.reserve(items.size());
+  for (const BatchItem& it : items) {
+    verdicts.push_back(it.pub && it.sig &&
+                       verify_digest(*it.pub, it.digest, *it.sig));
+  }
+  return verdicts;
+}
+
+void VerifyEngine::bind_metrics(sim::MetricsRegistry& reg) {
+  c_calls_ = &reg.counter("crypto.verify.calls");
+  c_hits_ = &reg.counter("crypto.verify.cache_hits");
+  c_evictions_ = &reg.counter("crypto.verify.evictions");
+  h_latency_us_ = &reg.histogram("crypto.verify.latency_us", 0.0, 2000.0, 40);
+  // Carry pre-binding totals so the registry view matches the engine's.
+  if (calls_ > c_calls_->value()) c_calls_->inc(calls_ - c_calls_->value());
+  if (cache_.hits() > c_hits_->value()) {
+    c_hits_->inc(cache_.hits() - c_hits_->value());
+  }
+  if (cache_.evictions() > exported_evictions_) {
+    c_evictions_->inc(cache_.evictions() - exported_evictions_);
+  }
+  exported_evictions_ = cache_.evictions();
+}
+
+void VerifyEngine::set_cache_capacity(std::size_t cap) {
+  cache_.set_capacity(cap);
+  if (c_evictions_ && cache_.evictions() != exported_evictions_) {
+    c_evictions_->inc(cache_.evictions() - exported_evictions_);
+    exported_evictions_ = cache_.evictions();
+  }
+}
+
+}  // namespace aseck::crypto

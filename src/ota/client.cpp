@@ -72,6 +72,7 @@ void FullVerificationClient::bind_telemetry(const sim::Telemetry& t) {
   const auto old = metrics_;  // keep old counters alive across the rewire
   metrics_ = t.metrics;
   wire_telemetry();
+  verify_engine_.bind_metrics(*metrics_);
 }
 
 OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
@@ -84,15 +85,18 @@ OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
   const util::Bytes root_payload = offered.serialize();
   if (offered.version > trusted.version) {
     if (!verify_threshold(root_payload, bundle.root.signatures,
-                          trusted.roles.at(Role::kRoot), trusted.keys) ||
+                          trusted.roles.at(Role::kRoot), trusted.keys,
+                          &verify_engine_) ||
         !verify_threshold(root_payload, bundle.root.signatures,
-                          offered.roles.at(Role::kRoot), offered.keys)) {
+                          offered.roles.at(Role::kRoot), offered.keys,
+                          &verify_engine_)) {
       return OtaError::kRootSignature;
     }
     st.trusted_root = bundle.root;  // accept rotation
   } else if (offered.version == trusted.version) {
     if (!verify_threshold(root_payload, bundle.root.signatures,
-                          trusted.roles.at(Role::kRoot), trusted.keys)) {
+                          trusted.roles.at(Role::kRoot), trusted.keys,
+                          &verify_engine_)) {
       return OtaError::kRootSignature;
     }
   } else {
@@ -104,7 +108,8 @@ OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
   // 2. Timestamp.
   const auto& ts = bundle.timestamp;
   if (!verify_threshold(ts.body.serialize(), ts.signatures,
-                        root.roles.at(Role::kTimestamp), root.keys)) {
+                        root.roles.at(Role::kTimestamp), root.keys,
+                        &verify_engine_)) {
     return OtaError::kTimestampSignature;
   }
   if (now > ts.body.expires) return OtaError::kTimestampExpired;
@@ -118,7 +123,8 @@ OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
     return OtaError::kSnapshotHashMismatch;
   }
   if (!verify_threshold(snap_payload, snap.signatures,
-                        root.roles.at(Role::kSnapshot), root.keys)) {
+                        root.roles.at(Role::kSnapshot), root.keys,
+                        &verify_engine_)) {
     return OtaError::kSnapshotSignature;
   }
   if (now > snap.body.expires) return OtaError::kSnapshotExpired;
@@ -130,7 +136,8 @@ OtaError FullVerificationClient::verify_repo(const MetadataBundle& bundle,
     return OtaError::kTargetsVersionMismatch;
   }
   if (!verify_threshold(tgt.body.serialize(), tgt.signatures,
-                        root.roles.at(Role::kTargets), root.keys)) {
+                        root.roles.at(Role::kTargets), root.keys,
+                        &verify_engine_)) {
     return OtaError::kTargetsSignature;
   }
   if (now > tgt.body.expires) return OtaError::kTargetsExpired;

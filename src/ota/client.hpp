@@ -114,6 +114,9 @@ class FullVerificationClient {
   std::uint64_t verify_ok() const { return c_verify_ok_->value(); }
   std::uint64_t verify_fail() const { return c_verify_fail_->value(); }
   sim::TraceScope& trace() { return trace_; }
+  /// Engine behind all metadata signature checks: poll cycles re-verify
+  /// identical role metadata, so steady-state verification is a cache hit.
+  crypto::VerifyEngine& verify_engine() { return verify_engine_; }
 
   /// Rebinds trace events and counters onto a shared telemetry plane.
   void bind_telemetry(const sim::Telemetry& t);
@@ -152,6 +155,7 @@ class FullVerificationClient {
   std::string name_;
   RepoState director_;
   RepoState image_;
+  crypto::VerifyEngine verify_engine_;
   sim::TraceScope trace_;
   std::shared_ptr<sim::MetricsRegistry> metrics_;
   sim::Counter* c_verify_ok_ = nullptr;

@@ -99,7 +99,8 @@ Signature sign_payload(const crypto::EcdsaPrivateKey& key,
 bool verify_threshold(util::BytesView payload,
                       const std::vector<Signature>& sigs,
                       const RootMeta::RoleKeys& authorized,
-                      const std::map<std::string, crypto::EcdsaPublicKey>& keys) {
+                      const std::map<std::string, crypto::EcdsaPublicKey>& keys,
+                      crypto::VerifyEngine* engine) {
   std::set<std::string> counted;  // distinct authorized keyids that verified
   for (const Signature& s : sigs) {
     const std::string hex = key_id_hex(s.keyid);
@@ -111,7 +112,9 @@ bool verify_threshold(util::BytesView payload,
     if (!authorized_key) continue;
     const auto kit = keys.find(hex);
     if (kit == keys.end()) continue;
-    if (crypto::ecdsa_verify(kit->second, payload, s.sig)) {
+    const bool ok = engine ? engine->verify(kit->second, payload, s.sig)
+                           : crypto::ecdsa_verify(kit->second, payload, s.sig);
+    if (ok) {
       counted.insert(hex);
     }
   }

@@ -18,6 +18,7 @@
 
 #include "crypto/ecdsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/verify_engine.hpp"
 #include "util/bytes.hpp"
 #include "util/time.hpp"
 
@@ -102,10 +103,14 @@ Signature sign_payload(const crypto::EcdsaPrivateKey& key,
                        util::BytesView payload);
 
 /// Verifies that `payload` carries >= threshold valid signatures from the
-/// authorized key set.
+/// authorized key set. When `engine` is supplied, the ECDSA checks run
+/// through it (verify-result cache + crypto.verify.* metrics) — OTA clients
+/// re-verify identical metadata on every poll cycle, so the cache turns the
+/// steady-state cost into a hash lookup.
 bool verify_threshold(util::BytesView payload,
                       const std::vector<Signature>& sigs,
                       const RootMeta::RoleKeys& authorized,
-                      const std::map<std::string, crypto::EcdsaPublicKey>& keys);
+                      const std::map<std::string, crypto::EcdsaPublicKey>& keys,
+                      crypto::VerifyEngine* engine = nullptr);
 
 }  // namespace aseck::ota

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <stdexcept>
@@ -163,6 +164,12 @@ LatencyHistogram::LatencyHistogram(double lo, double hi, std::size_t buckets)
 }
 
 void LatencyHistogram::record(double x) {
+  if (std::isnan(x)) {
+    // NaN fails both range guards and casting it to an integer bucket index
+    // is UB; count it separately instead of binning.
+    ++nan_;
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {

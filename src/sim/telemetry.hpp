@@ -160,12 +160,14 @@ class Gauge {
 
 /// Fixed-bucket latency histogram over [lo, hi); out-of-range samples clamp
 /// to the edge buckets. Tracks exact count/sum/min/max alongside buckets.
+/// NaN samples are never binned (the cast would be UB); see nan_count().
 class LatencyHistogram {
  public:
   LatencyHistogram(double lo, double hi, std::size_t buckets);
 
   void record(double x);
   std::size_t count() const { return count_; }
+  std::size_t nan_count() const { return nan_; }
   double sum() const { return sum_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
   double min() const { return count_ ? min_ : 0; }
@@ -181,6 +183,7 @@ class LatencyHistogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t count_ = 0;
+  std::size_t nan_ = 0;
   double sum_ = 0, min_ = 0, max_ = 0;
 };
 

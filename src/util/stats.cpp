@@ -94,6 +94,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    // A NaN sample fails both range guards below, and casting NaN to an
+    // integer is UB — count it explicitly instead of binning it.
+    ++nan_;
+    return;
+  }
   const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
   std::size_t idx;
   if (t < 0.0) {

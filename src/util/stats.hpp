@@ -52,7 +52,9 @@ class Samples {
   void ensure_sorted() const;
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to edge bins.
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to edge
+/// bins. NaN samples are never binned (they would be UB to cast); they are
+/// counted separately in nan_count().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -60,6 +62,7 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  std::size_t nan_count() const { return nan_; }
   double bin_low(std::size_t i) const;
   std::string ascii(std::size_t width = 40) const;
 
@@ -67,6 +70,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ = 0;
 };
 
 /// Pearson correlation coefficient of two equal-length series.

@@ -125,18 +125,18 @@ TrustStore::Result TrustStore::validate(const Certificate& cert, SimTime t,
     if (!issuer->valid_at(t)) return Result::kExpired;
     if (crl_ && crl_->is_revoked(issuer->id())) return Result::kRevoked;
     const CertId cid = current->id();
-    const auto cached = chain_cache_.find(cid);
     Result sig_result;
-    if (cached != chain_cache_.end()) {
-      ++cache_hits_;
-      sig_result = cached->second;
+    if (const Result* cached = chain_cache_.find(cid)) {
+      sig_result = *cached;
     } else {
-      sig_result = crypto::ecdsa_verify(issuer->verify_key,
-                                        current->tbs_bytes(),
-                                        current->signature)
-                       ? Result::kOk
-                       : Result::kBadSignature;
-      chain_cache_[cid] = sig_result;
+      const util::Bytes tbs = current->tbs_bytes();
+      const bool ok = engine_
+                          ? engine_->verify(issuer->verify_key, tbs,
+                                            current->signature)
+                          : crypto::ecdsa_verify(issuer->verify_key, tbs,
+                                                 current->signature);
+      sig_result = ok ? Result::kOk : Result::kBadSignature;
+      chain_cache_.put(cid, sig_result);
     }
     if (sig_result != Result::kOk) return sig_result;
     // Issuer found in the store; if it is a root we are done.

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "crypto/ecdsa.hpp"
+#include "crypto/verify_engine.hpp"
 #include "util/bytes.hpp"
+#include "util/lru.hpp"
 #include "util/time.hpp"
 
 namespace aseck::v2x {
@@ -125,7 +127,22 @@ class TrustStore {
 
   static const char* result_name(Result r);
 
-  std::uint64_t cache_hits() const { return cache_hits_; }
+  /// Default bound for the chain-verdict cache. Under pseudonym rotation
+  /// every rotation mints a fresh cert id, so an unbounded cache grows
+  /// forever; LRU keeps the working set (live pseudonyms) and evicts
+  /// retired ones.
+  static constexpr std::size_t kDefaultChainCacheCapacity = 4096;
+  void set_chain_cache_capacity(std::size_t cap) {
+    chain_cache_.set_capacity(cap);
+  }
+  std::size_t chain_cache_size() const { return chain_cache_.size(); }
+  std::uint64_t cache_hits() const { return chain_cache_.hits(); }
+  std::uint64_t cache_evictions() const { return chain_cache_.evictions(); }
+
+  /// Routes the expensive chain signature verifications through a shared
+  /// VerifyEngine (result cache + crypto.verify.* metrics). Optional; when
+  /// unset, ecdsa_verify is called directly.
+  void set_verify_engine(crypto::VerifyEngine* engine) { engine_ = engine; }
 
  private:
   const Certificate* find_issuer(const CertId& id) const;
@@ -133,9 +150,11 @@ class TrustStore {
   std::vector<Certificate> roots_;
   std::vector<Certificate> intermediates_;
   const Crl* crl_ = nullptr;
-  // Cache: cert id -> chain-signature verdict (independent of t/psid).
-  mutable std::map<CertId, Result> chain_cache_;
-  mutable std::uint64_t cache_hits_ = 0;
+  crypto::VerifyEngine* engine_ = nullptr;
+  // Cache: cert id -> chain-signature verdict (independent of t/psid),
+  // bounded LRU so pseudonym churn cannot grow it without limit.
+  mutable util::LruCache<CertId, Result> chain_cache_{
+      kDefaultChainCacheCapacity};
 };
 
 }  // namespace aseck::v2x

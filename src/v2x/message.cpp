@@ -83,7 +83,8 @@ const char* verify_status_name(VerifyStatus s) {
 VerifyStatus verify_spdu(const Spdu& msg, const TrustStore& trust, SimTime now,
                          const VerifyPolicy& policy,
                          const Position* receiver_pos,
-                         const Position* claimed_pos) {
+                         const Position* claimed_pos,
+                         crypto::VerifyEngine* engine) {
   // Freshness: reject stale or future-dated messages.
   if (msg.generation_time > now + policy.max_age ||
       now > msg.generation_time + policy.max_age) {
@@ -92,8 +93,13 @@ VerifyStatus verify_spdu(const Spdu& msg, const TrustStore& trust, SimTime now,
   if (trust.validate(msg.signer, now, msg.psid) != TrustStore::Result::kOk) {
     return VerifyStatus::kCertInvalid;
   }
-  if (!crypto::ecdsa_verify(msg.signer.verify_key, msg.signed_portion(),
-                            msg.signature)) {
+  const util::Bytes signed_bytes = msg.signed_portion();
+  const bool sig_ok =
+      engine ? engine->verify(msg.signer.verify_key, signed_bytes,
+                              msg.signature)
+             : crypto::ecdsa_verify(msg.signer.verify_key, signed_bytes,
+                                    msg.signature);
+  if (!sig_ok) {
     return VerifyStatus::kBadSignature;
   }
   if (receiver_pos && claimed_pos &&

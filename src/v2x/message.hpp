@@ -59,10 +59,14 @@ enum class VerifyStatus {
 const char* verify_status_name(VerifyStatus s);
 
 /// Full receive-side verification: cert chain, signature, freshness,
-/// relevance (when both positions supplied).
+/// relevance (when both positions supplied). When `engine` is supplied the
+/// payload signature check runs through it (verify-result cache + shared
+/// crypto.verify.* metrics); the chain check uses whatever engine the
+/// TrustStore was bound to.
 VerifyStatus verify_spdu(const Spdu& msg, const TrustStore& trust, SimTime now,
                          const VerifyPolicy& policy,
                          const Position* receiver_pos = nullptr,
-                         const Position* claimed_pos = nullptr);
+                         const Position* claimed_pos = nullptr,
+                         crypto::VerifyEngine* engine = nullptr);
 
 }  // namespace aseck::v2x

@@ -105,6 +105,7 @@ void VehicleNode::bind_telemetry(const sim::Telemetry& t) {
   k_bsm_tx_ = trace_.kind("bsm_tx");
   k_verify_fail_ = trace_.kind("verify_fail");
   k_misbehavior_ = trace_.kind("misbehavior");
+  verify_engine_.bind_metrics(*t.metrics);
 }
 
 Position VehicleNode::position() const {
@@ -160,8 +161,8 @@ void VehicleNode::on_spdu(const Spdu& msg, SimTime) {
     claimed_pos = bsm->pos;
     claimed = &claimed_pos;
   }
-  const VerifyStatus status =
-      verify_spdu(msg, trust_, now, verify_policy_, &me, claimed);
+  const VerifyStatus status = verify_spdu(msg, trust_, now, verify_policy_,
+                                          &me, claimed, &verify_engine_);
   stats_.verify_latency_us.add(kVerifyCostUs);
   if (status != VerifyStatus::kOk) {
     ++stats_.rejected[status];
@@ -196,8 +197,8 @@ RsuNode::RsuNode(Scheduler& sched, V2xMedium& medium, std::string name,
 
 void RsuNode::on_spdu(const Spdu& msg, SimTime) {
   ++received_;
-  if (verify_spdu(msg, trust_, sched_.now(), VerifyPolicy{}) ==
-      VerifyStatus::kOk) {
+  if (verify_spdu(msg, trust_, sched_.now(), VerifyPolicy{}, nullptr, nullptr,
+                  &verify_engine_) == VerifyStatus::kOk) {
     ++verified_;
   }
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/verify_engine.hpp"
 #include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
@@ -149,6 +150,9 @@ class VehicleNode : public V2xRadio {
   MisbehaviorDetector& misbehavior() { return misbehavior_; }
   const VerifyPolicy& verify_policy() const { return verify_policy_; }
   void set_verify_policy(VerifyPolicy p) { verify_policy_ = p; }
+  /// Per-node verification engine (signature result cache; BSM floods from
+  /// the same sender repeat identical SPDUs across receive paths).
+  crypto::VerifyEngine& verify_engine() { return verify_engine_; }
 
   /// Hook invoked for every plausible, verified BSM (the ADAS consumer).
   using BsmSink = std::function<void(const Bsm&, const Spdu&, SimTime)>;
@@ -175,6 +179,7 @@ class VehicleNode : public V2xRadio {
   std::size_t pseudo_idx_ = 0;
   std::uint32_t temp_id_ = 0;
   MisbehaviorDetector misbehavior_;
+  crypto::VerifyEngine verify_engine_;
   VehicleStats stats_;
   sim::TraceScope trace_;
   sim::TraceId k_bsm_tx_ = 0, k_verify_fail_ = 0, k_misbehavior_ = 0;
@@ -197,6 +202,7 @@ class RsuNode : public V2xRadio {
 
   std::uint64_t received() const { return received_; }
   std::uint64_t verified() const { return verified_; }
+  crypto::VerifyEngine& verify_engine() { return verify_engine_; }
 
  private:
   Scheduler& sched_;
@@ -205,6 +211,7 @@ class RsuNode : public V2xRadio {
   const TrustStore& trust_;
   Certificate cert_;
   crypto::EcdsaPrivateKey key_;
+  crypto::VerifyEngine verify_engine_;
   std::uint64_t received_ = 0;
   std::uint64_t verified_ = 0;
 };

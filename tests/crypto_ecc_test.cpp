@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "crypto/ecdsa.hpp"
 #include "crypto/p256.hpp"
 #include "crypto/u256.hpp"
@@ -326,6 +330,191 @@ TEST(P256Ladder, OpCountIndependentOfHammingWeight) {
   const std::uint64_t l_dense = p256::fieldop_count();
   // Ladder: identical op counts for identical bit lengths.
   EXPECT_EQ(l_sparse, l_dense);
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path equivalence and crypto edge cases (PR: verification fast path).
+
+U256 rand_u256(util::Rng& rng) {
+  U256 v;
+  for (std::size_t i = 0; i < v.w.size(); ++i) v.w[i] = rng.next_u32();
+  return v;
+}
+
+TEST(P256FastPath, ScalarMultBaseMatchesGenericDoubleAndAdd) {
+  // The comb-table fixed-base path must agree with the generic scalar_mult
+  // for raw (unreduced) 256-bit scalars and for every boundary scalar.
+  util::Rng rng(0xfb17);
+  std::vector<U256> cases;
+  for (int i = 0; i < 50; ++i) cases.push_back(rand_u256(rng));
+  cases.push_back(U256::zero());
+  cases.push_back(U256::one());
+  U256 n_minus_1, n_plus_1;
+  sub(n_minus_1, p256::N(), U256::one());
+  add(n_plus_1, p256::N(), U256::one());
+  cases.push_back(n_minus_1);
+  cases.push_back(p256::N());
+  cases.push_back(n_plus_1);
+  U256 all_ones;
+  for (auto& w : all_ones.w) w = 0xffffffffu;
+  cases.push_back(all_ones);
+  for (const U256& k : cases) {
+    const auto fast = p256::scalar_mult_base(k);
+    const auto slow = p256::scalar_mult(k, p256::generator());
+    ASSERT_EQ(fast.is_infinity(), slow.is_infinity()) << k.to_hex();
+    if (!fast.is_infinity()) {
+      ASSERT_EQ(p256::to_affine(fast), p256::to_affine(slow)) << k.to_hex();
+    }
+  }
+}
+
+TEST(P256FastPath, DoubleScalarMultMatchesShamirOnRandomInputs) {
+  util::Rng rng(0xd5c0);
+  for (int i = 0; i < 40; ++i) {
+    const U256 u1 = mod_generic(rand_u256(rng), p256::N());
+    const U256 u2 = mod_generic(rand_u256(rng), p256::N());
+    const U256 d = mod_generic(rand_u256(rng), p256::N());
+    const auto q = p256::to_affine(p256::scalar_mult_base(d));
+    const auto fast = p256::double_scalar_mult(u1, u2, q);
+    const auto slow = p256::double_scalar_mult_shamir(u1, u2, q);
+    ASSERT_EQ(fast.is_infinity(), slow.is_infinity());
+    if (!fast.is_infinity()) {
+      ASSERT_EQ(p256::to_affine(fast), p256::to_affine(slow));
+    }
+  }
+}
+
+TEST(P256FastPath, DoubleScalarMultWithQEqualsMinusG) {
+  // q == -G makes the Shamir precomputation G + Q the point at infinity —
+  // the table entry both implementations must special-case.
+  p256::AffinePoint neg_g = p256::generator();
+  U256 ny;
+  sub(ny, p256::P(), neg_g.y);
+  neg_g.y = ny;
+
+  // u1 == u2: u1*G + u1*(-G) = infinity.
+  const U256 u = U256::from_u64(0x1234567);
+  EXPECT_TRUE(p256::double_scalar_mult(u, u, neg_g).is_infinity());
+  EXPECT_TRUE(p256::double_scalar_mult_shamir(u, u, neg_g).is_infinity());
+
+  // u1 != u2: result is (u1 - u2)*G.
+  const U256 u1 = U256::from_u64(1000);
+  const U256 u2 = U256::from_u64(1);
+  const auto expect = p256::to_affine(p256::scalar_mult_base(U256::from_u64(999)));
+  EXPECT_EQ(p256::to_affine(p256::double_scalar_mult(u1, u2, neg_g)), expect);
+  EXPECT_EQ(p256::to_affine(p256::double_scalar_mult_shamir(u1, u2, neg_g)),
+            expect);
+}
+
+TEST(P256FastPath, DoubleScalarMultWithZeroScalars) {
+  util::Rng rng(0x0517);
+  const U256 d = mod_generic(rand_u256(rng), p256::N());
+  const auto q = p256::to_affine(p256::scalar_mult_base(d));
+  const U256 u = U256::from_u64(77);
+
+  // u1 = 0: result is u2*Q.
+  const auto uq = p256::to_affine(p256::scalar_mult(u, q));
+  EXPECT_EQ(p256::to_affine(p256::double_scalar_mult(U256::zero(), u, q)), uq);
+  EXPECT_EQ(p256::to_affine(p256::double_scalar_mult_shamir(U256::zero(), u, q)),
+            uq);
+  // u2 = 0: result is u1*G.
+  const auto ug = p256::to_affine(p256::scalar_mult_base(u));
+  EXPECT_EQ(p256::to_affine(p256::double_scalar_mult(u, U256::zero(), q)), ug);
+  EXPECT_EQ(p256::to_affine(p256::double_scalar_mult_shamir(u, U256::zero(), q)),
+            ug);
+  // Both zero: infinity.
+  EXPECT_TRUE(
+      p256::double_scalar_mult(U256::zero(), U256::zero(), q).is_infinity());
+}
+
+TEST(P256FastPath, BatchToAffineSkipsInfinityEntries) {
+  // Montgomery batch inversion must skip z == 0 entries: inv_mod_prime(0)
+  // does not terminate, so an unguarded prefix-product chain would hang.
+  std::vector<p256::JacobianPoint> pts;
+  pts.push_back(p256::JacobianPoint::make_infinity());
+  pts.push_back(p256::scalar_mult_base(U256::from_u64(2)));
+  pts.push_back(p256::JacobianPoint::make_infinity());
+  pts.push_back(p256::scalar_mult_base(U256::from_u64(3)));
+  pts.push_back(p256::scalar_mult_base(U256::from_u64(4)));
+  const auto out = p256::batch_to_affine(pts);
+  ASSERT_EQ(out.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].is_infinity()) {
+      EXPECT_TRUE(out[i].infinity);
+    } else {
+      EXPECT_EQ(out[i], p256::to_affine(pts[i]));
+    }
+  }
+  EXPECT_TRUE(p256::batch_to_affine({}).empty());
+}
+
+TEST(Ecdsa, RejectsOutOfRangeSignatureComponents) {
+  Drbg rng(77u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const Digest digest = sha256(util::from_string("edge"));
+  const EcdsaSignature good = key.sign_digest(digest);
+  ASSERT_TRUE(ecdsa_verify_digest(key.public_key(), digest, good));
+
+  EcdsaSignature bad = good;
+  bad.r = U256::zero();
+  EXPECT_FALSE(ecdsa_verify_digest(key.public_key(), digest, bad));
+  EXPECT_FALSE(ecdsa_verify_digest_slow(key.public_key(), digest, bad));
+  bad = good;
+  bad.s = U256::zero();
+  EXPECT_FALSE(ecdsa_verify_digest(key.public_key(), digest, bad));
+  bad = good;
+  bad.r = p256::N();  // r must be in [1, n-1]
+  EXPECT_FALSE(ecdsa_verify_digest(key.public_key(), digest, bad));
+  bad = good;
+  add(bad.s, p256::N(), U256::one());  // s = n + 1
+  EXPECT_FALSE(ecdsa_verify_digest(key.public_key(), digest, bad));
+}
+
+TEST(Ecdsa, FastAndSlowVerifyAgreeOnThousandRandomPairs) {
+  // Bit-for-bit equivalence of the wNAF fast path and the Shamir reference
+  // across 1000 seeded (key, digest) pairs, plus corrupted variants.
+  util::Rng rng(0x1609);
+  for (int i = 0; i < 1000; ++i) {
+    std::array<std::uint8_t, 32> secret{};
+    const U256 s = rand_u256(rng);
+    for (int b = 0; b < 32; ++b) {
+      secret[b] = static_cast<std::uint8_t>(s.w[b / 4] >> (8 * (b % 4)));
+    }
+    secret[31] |= 1;  // never zero
+    const auto key =
+        EcdsaPrivateKey::from_secret(util::BytesView(secret.data(), 32));
+    Digest digest;
+    for (int b = 0; b < 32; ++b) digest[b] = static_cast<std::uint8_t>(rng.next_u32());
+    const EcdsaSignature sig = key.sign_digest(digest);
+    const bool fast = ecdsa_verify_digest(key.public_key(), digest, sig);
+    const bool slow = ecdsa_verify_digest_slow(key.public_key(), digest, sig);
+    ASSERT_TRUE(fast) << "pair " << i;
+    ASSERT_EQ(fast, slow) << "pair " << i;
+    if (i % 10 == 0) {  // corrupted digest must fail identically
+      Digest mutated = digest;
+      mutated[i % 32] ^= 0x01;
+      const bool f2 = ecdsa_verify_digest(key.public_key(), mutated, sig);
+      const bool s2 = ecdsa_verify_digest_slow(key.public_key(), mutated, sig);
+      ASSERT_FALSE(f2) << "pair " << i;
+      ASSERT_EQ(f2, s2) << "pair " << i;
+    }
+  }
+}
+
+TEST(Ecdsa, NonceCounterDoesNotWrapAt256) {
+  // Regression: the retry counter was a uint8_t, so candidate 256 aliased
+  // candidate 0 — a degenerate HMAC stream would loop forever on the same
+  // rejected nonce. Candidates must stay distinct past the byte boundary.
+  Drbg rng(99u);
+  const auto key = EcdsaPrivateKey::generate(rng);
+  const Digest digest = sha256(util::from_string("nonce"));
+  EXPECT_NE(detail::nonce_candidate(key.scalar(), digest, 0),
+            detail::nonce_candidate(key.scalar(), digest, 256));
+  std::set<std::string> seen;
+  for (std::uint32_t c = 0; c <= 300; ++c) {
+    seen.insert(detail::nonce_candidate(key.scalar(), digest, c).to_hex());
+  }
+  EXPECT_EQ(seen.size(), 301u);
 }
 
 }  // namespace

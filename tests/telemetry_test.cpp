@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -192,6 +193,20 @@ TEST(Metrics, HistogramBucketsAndPercentiles) {
   EXPECT_EQ(h.bucket_count(9), 11u);
   EXPECT_DOUBLE_EQ(h.min(), -5.0);
   EXPECT_DOUBLE_EQ(h.max(), 500.0);
+}
+
+TEST(Metrics, HistogramNanSampleIsCountedNotBinned) {
+  // Regression: a NaN latency sample used to hit the UB size_t cast in the
+  // bucketing path and corrupt min/max/sum. It must be counted separately.
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("nan.test", 0.0, 100.0, 10);
+  h.record(10.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
 }
 
 TEST(Metrics, ScopedTimerRecordsOneSample) {

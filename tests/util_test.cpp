@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/bytes.hpp"
 #include "util/crc.hpp"
 #include "util/rng.hpp"
@@ -248,6 +250,22 @@ TEST(Stats, HistogramBinning) {
   EXPECT_EQ(h.bin_count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Stats, HistogramNanSampleIsCountedNotBinned) {
+  // Regression: NaN fails both range guards, so the old code fell through to
+  // `static_cast<std::size_t>(NaN)` — UB (caught by UBSan) and an arbitrary
+  // bin. NaN must leave every bin and the total untouched.
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.bin_count(b);
+  EXPECT_EQ(binned, 1u);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan_count(), 2u);
 }
 
 TEST(Stats, Pearson) {

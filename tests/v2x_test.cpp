@@ -448,5 +448,49 @@ TEST(Adversary, LinksAcrossSingleRotation) {
   EXPECT_EQ(chains[0].size(), 2u);  // both pseudonyms linked: privacy lost
 }
 
+TEST(Cert, ChainCacheHitsOnRepeatValidation) {
+  Pki pki;
+  const auto v = pki.make_entity("veh1", {Psid::kBsm});
+  EXPECT_EQ(pki.trust.validate(v.cert, SimTime::from_s(1), Psid::kBsm),
+            TrustStore::Result::kOk);
+  const std::uint64_t h0 = pki.trust.cache_hits();
+  EXPECT_EQ(pki.trust.validate(v.cert, SimTime::from_s(2), Psid::kBsm),
+            TrustStore::Result::kOk);
+  EXPECT_GT(pki.trust.cache_hits(), h0);
+}
+
+TEST(Cert, ChainCacheBoundedUnderPseudonymChurn) {
+  // Regression: chain_cache_ was an unbounded std::map keyed by cert id, so
+  // a fleet rotating pseudonyms grew the TrustStore without limit. With an
+  // LRU bound the cache must stay at capacity and evict, while verdicts stay
+  // correct for both resident and evicted certs.
+  Pki pki;
+  pki.trust.set_chain_cache_capacity(8);
+  std::vector<Pki::Entity> certs;
+  for (int i = 0; i < 64; ++i) {
+    certs.push_back(pki.make_entity("p" + std::to_string(i), {Psid::kBsm}));
+  }
+  for (const auto& e : certs) {
+    EXPECT_EQ(pki.trust.validate(e.cert, SimTime::from_s(1), Psid::kBsm),
+              TrustStore::Result::kOk);
+  }
+  EXPECT_LE(pki.trust.chain_cache_size(), 8u);
+  // 64 leaf certs + intermediates through an 8-entry cache must evict.
+  EXPECT_GT(pki.trust.cache_evictions(), 0u);
+  // An evicted cert re-validates correctly (cache miss, full chain walk).
+  EXPECT_EQ(pki.trust.validate(certs[0].cert, SimTime::from_s(2), Psid::kBsm),
+            TrustStore::Result::kOk);
+}
+
+TEST(Cert, ValidateRoutesThroughVerifyEngine) {
+  Pki pki;
+  crypto::VerifyEngine engine;
+  pki.trust.set_verify_engine(&engine);
+  const auto v = pki.make_entity("veh1", {Psid::kBsm});
+  EXPECT_EQ(pki.trust.validate(v.cert, SimTime::from_s(1), Psid::kBsm),
+            TrustStore::Result::kOk);
+  EXPECT_GT(engine.calls(), 0u);
+}
+
 }  // namespace
 }  // namespace aseck::v2x
