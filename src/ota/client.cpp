@@ -28,6 +28,7 @@ const char* ota_error_name(OtaError e) {
     case OtaError::kImageRollback: return "image_rollback";
     case OtaError::kDownloadFailed: return "download_failed";
     case OtaError::kRetriesExhausted: return "retries_exhausted";
+    case OtaError::kPowerLoss: return "power_loss";
   }
   return "?";
 }
@@ -57,6 +58,7 @@ void FullVerificationClient::wire_telemetry() {
   rewire(c_bytes_fetched_, "bytes_fetched");
   rewire(c_backoffs_, "backoffs");
   rewire(c_backoff_ns_, "backoff_ns_total");
+  rewire(c_resume_bytes_saved_, "resume_bytes_saved");
   h_backoff_ms_ = &metrics_->histogram(p + "backoff_ms", 0.0, 60'000.0, 60);
   k_verify_ok_ = trace_.kind("verify_ok");
   k_verify_fail_ = trace_.kind("verify_fail");
@@ -65,6 +67,8 @@ void FullVerificationClient::wire_telemetry() {
   k_fetch_interrupted_ = trace_.kind("fetch_interrupted");
   k_backoff_ = trace_.kind("backoff");
   k_retries_exhausted_ = trace_.kind("retries_exhausted");
+  k_stage_resume_ = trace_.kind("stage_resume");
+  k_power_loss_ = trace_.kind("power_loss");
 }
 
 void FullVerificationClient::bind_telemetry(const sim::Telemetry& t) {
@@ -243,9 +247,11 @@ struct FullVerificationClient::RetryState {
   RetryCallback done;
   int attempt = 0;
   TargetInfo info;          // resolved target of the current attempt
-  util::Bytes buffer;       // bytes fetched so far
-  std::size_t offset = 0;   // == buffer.size(); survives failed attempts
+  util::Bytes buffer;       // bytes fetched so far (RAM mode only)
+  std::size_t offset = 0;   // bytes delivered; survives failed attempts
   std::size_t resumed_from = 0;
+  ecu::Flash* flash = nullptr;     // non-null: stream into the staging journal
+  std::size_t resume_saved = 0;    // journal bytes inherited from a past boot
 };
 
 void FullVerificationClient::fetch_and_verify_with_retry(
@@ -261,6 +267,24 @@ void FullVerificationClient::fetch_and_verify_with_retry(
   st->hardware_id = hardware_id;
   st->installed_version = installed_version;
   st->policy = policy;
+  st->done = std::move(done);
+  sched.schedule_after(SimTime::zero(), [this, st] { retry_attempt(st); });
+}
+
+void FullVerificationClient::fetch_and_stage_with_retry(
+    sim::Scheduler& sched, const Repository& director_repo,
+    const Repository& image_repo, const std::string& image_name,
+    const std::string& hardware_id, std::uint32_t installed_version,
+    RetryPolicy policy, ecu::Flash& flash, RetryCallback done) {
+  auto st = std::make_shared<RetryState>();
+  st->sched = &sched;
+  st->director = &director_repo;
+  st->image_repo = &image_repo;
+  st->image_name = image_name;
+  st->hardware_id = hardware_id;
+  st->installed_version = installed_version;
+  st->policy = policy;
+  st->flash = &flash;
   st->done = std::move(done);
   sched.schedule_after(SimTime::zero(), [this, st] { retry_attempt(st); });
 }
@@ -297,6 +321,33 @@ void FullVerificationClient::retry_attempt(
     st->buffer.clear();
   }
   st->info = info;
+  if (st->flash) {
+    // Open (or resume) the staging journal keyed by the content digest. A
+    // different digest resets the journal inside stage_begin.
+    ecu::Flash::StageRequest req;
+    req.name = st->image_name;
+    req.version = info.version;
+    req.total_bytes = info.length;
+    req.sha256 = info.sha256;
+    if (!st->flash->stage_begin(req)) {
+      Outcome out;
+      out.error = st->flash->lost_power() ? OtaError::kPowerLoss
+                                          : OtaError::kImageRollback;
+      retry_finish(st, std::move(out));
+      return;
+    }
+    const std::uint64_t wm = st->flash->staging_watermark();
+    if (st->attempt == 1 && wm > 0) {
+      // Journal survived a previous session (power cut + boot recovery):
+      // these bytes never cross the link again.
+      st->resume_saved = static_cast<std::size_t>(wm);
+      c_resume_bytes_saved_->inc(wm);
+      ASECK_TRACE(trace_, now, k_stage_resume_,
+                  "watermark=" + std::to_string(wm) +
+                      " image=" + st->image_name);
+    }
+    st->offset = static_cast<std::size_t>(wm);
+  }
   st->resumed_from = st->offset;
   if (st->offset > 0) {
     ASECK_TRACE(trace_, now, k_fetch_resume_,
@@ -308,6 +359,30 @@ void FullVerificationClient::retry_attempt(
 void FullVerificationClient::retry_fetch_chunk(
     const std::shared_ptr<RetryState>& st) {
   const SimTime now = st->sched->now();
+  if (st->flash && st->offset >= st->info.length) {
+    // Seal the journal: page CRCs + content digest are checked in flash.
+    const ecu::FlashWrite w = st->flash->stage_finish();
+    Outcome out;
+    if (w == ecu::FlashWrite::kOk) {
+      out.target = st->info;
+      out.error = OtaError::kOk;  // bytes live in flash, not in out.image
+      retry_finish(st, std::move(out));
+      return;
+    }
+    if (w == ecu::FlashWrite::kPowerLoss) {
+      ASECK_TRACE(trace_, now, k_power_loss_,
+                  "at=stage_finish image=" + st->image_name);
+      out.error = OtaError::kPowerLoss;
+      retry_finish(st, std::move(out));
+      return;
+    }
+    // kRejected: journal bytes did not match the digest (erased inside
+    // stage_finish); restart the download on the next attempt.
+    st->offset = 0;
+    ASECK_TRACE(trace_, now, k_fetch_interrupted_, "hash_mismatch_restart");
+    retry_fail_transport(st);
+    return;
+  }
   if (st->offset >= st->info.length) {
     Outcome out;
     if (st->buffer.size() != st->info.length) {
@@ -350,7 +425,26 @@ void FullVerificationClient::retry_fetch_chunk(
     retry_finish(st, std::move(out));
     return;
   }
-  st->buffer.insert(st->buffer.end(), chunk->begin(), chunk->end());
+  if (st->flash) {
+    const ecu::FlashWrite w = st->flash->stage_write(*chunk);
+    if (w == ecu::FlashWrite::kPowerLoss) {
+      ASECK_TRACE(trace_, now, k_power_loss_,
+                  "offset=" + std::to_string(st->offset) +
+                      " image=" + st->image_name);
+      Outcome out;
+      out.error = OtaError::kPowerLoss;
+      retry_finish(st, std::move(out));
+      return;
+    }
+    if (w == ecu::FlashWrite::kRejected) {
+      Outcome out;
+      out.error = OtaError::kDownloadFailed;
+      retry_finish(st, std::move(out));
+      return;
+    }
+  } else {
+    st->buffer.insert(st->buffer.end(), chunk->begin(), chunk->end());
+  }
   st->offset += chunk->size();
   c_bytes_fetched_->inc(chunk->size());
   const SimTime tx = SimTime::from_seconds_f(
@@ -402,6 +496,7 @@ void FullVerificationClient::retry_finish(const std::shared_ptr<RetryState>& st,
   ro.outcome = std::move(out);
   ro.attempts = st->attempt;
   ro.resumed_from = st->resumed_from;
+  ro.resume_bytes_saved = st->resume_saved;
   ro.finished_at = now;
   if (st->done) st->done(ro);
 }
@@ -450,6 +545,16 @@ PartialVerificationClient::Outcome PartialVerificationClient::verify(
   return out;
 }
 
+const char* install_result_name(InstallResult r) {
+  switch (r) {
+    case InstallResult::kCommitted: return "committed";
+    case InstallResult::kRevertedSelfTest: return "reverted_self_test";
+    case InstallResult::kStageRejected: return "stage_rejected";
+    case InstallResult::kPowerLoss: return "power_loss";
+  }
+  return "?";
+}
+
 InstallResult install_image(ecu::Flash& flash, const std::string& image_name,
                             std::uint32_t version, const util::Bytes& image,
                             const std::function<bool()>& self_test) {
@@ -462,6 +567,25 @@ InstallResult install_image(ecu::Flash& flash, const std::string& image_name,
     return InstallResult::kRevertedSelfTest;
   }
   flash.commit();
+  return InstallResult::kCommitted;
+}
+
+InstallResult install_staged(ecu::Flash& flash, util::SimTime now,
+                             util::SimTime confirm_timeout,
+                             const std::function<bool()>& self_test) {
+  if (!flash.staged()) return InstallResult::kStageRejected;
+  if (!flash.activate(now, confirm_timeout)) {
+    return flash.lost_power() ? InstallResult::kPowerLoss
+                              : InstallResult::kStageRejected;
+  }
+  if (self_test && !self_test()) {
+    flash.revert();
+    return InstallResult::kRevertedSelfTest;
+  }
+  flash.commit();
+  // A cut at the commit marker leaves the slot ACTIVE-unconfirmed; the
+  // confirm deadline machinery settles it at the next boot.
+  if (flash.lost_power()) return InstallResult::kPowerLoss;
   return InstallResult::kCommitted;
 }
 

@@ -41,6 +41,7 @@ enum class OtaError {
   kImageRollback,
   kDownloadFailed,
   kRetriesExhausted,  // transport kept failing past RetryPolicy::max_attempts
+  kPowerLoss,         // power cut mid-install; journal watermark survives
 };
 const char* ota_error_name(OtaError e);
 
@@ -93,6 +94,9 @@ class FullVerificationClient {
     Outcome outcome;
     int attempts = 0;
     std::size_t resumed_from = 0;  // offset the final attempt resumed at
+    /// Bytes NOT refetched because a pre-reboot staging journal survived
+    /// (fetch_and_stage_with_retry only; the journal watermark at start).
+    std::size_t resume_bytes_saved = 0;
     SimTime finished_at = SimTime::zero();
   };
   using RetryCallback = std::function<void(const RetryOutcome&)>;
@@ -110,6 +114,24 @@ class FullVerificationClient {
                                    const std::string& hardware_id,
                                    std::uint32_t installed_version,
                                    RetryPolicy policy, RetryCallback done);
+
+  /// fetch_and_verify_with_retry, but verified chunks stream straight into
+  /// `flash`'s staging journal instead of a RAM buffer. If a journal for the
+  /// same content digest already exists (e.g. a power cut interrupted a
+  /// previous session and boot() recovered the watermark), the download
+  /// resumes from the watermark and `RetryOutcome::resume_bytes_saved`
+  /// records the bytes not refetched. The image digest is checked by
+  /// `Flash::stage_finish`; on success the outcome carries the target but an
+  /// empty image (the bytes live in flash). An injected power cut ends the
+  /// fetch with OtaError::kPowerLoss — re-run after `flash.boot()` to resume.
+  void fetch_and_stage_with_retry(sim::Scheduler& sched,
+                                  const Repository& director_repo,
+                                  const Repository& image_repo,
+                                  const std::string& image_name,
+                                  const std::string& hardware_id,
+                                  std::uint32_t installed_version,
+                                  RetryPolicy policy, ecu::Flash& flash,
+                                  RetryCallback done);
 
   std::uint64_t verify_ok() const { return c_verify_ok_->value(); }
   std::uint64_t verify_fail() const { return c_verify_fail_->value(); }
@@ -165,10 +187,11 @@ class FullVerificationClient {
   sim::Counter* c_bytes_fetched_ = nullptr;
   sim::Counter* c_backoffs_ = nullptr;
   sim::Counter* c_backoff_ns_ = nullptr;
+  sim::Counter* c_resume_bytes_saved_ = nullptr;
   sim::LatencyHistogram* h_backoff_ms_ = nullptr;
   sim::TraceId k_verify_ok_ = 0, k_verify_fail_ = 0, k_fetch_attempt_ = 0,
                k_fetch_resume_ = 0, k_fetch_interrupted_ = 0, k_backoff_ = 0,
-               k_retries_exhausted_ = 0;
+               k_retries_exhausted_ = 0, k_stage_resume_ = 0, k_power_loss_ = 0;
 };
 
 /// Partial-verification (secondary ECU) client: pinned director-targets key,
@@ -194,9 +217,25 @@ class PartialVerificationClient {
 
 /// Installs a verified image into an ECU's flash (stage + activate + commit
 /// after the self-test callback returns true; reverts otherwise).
-enum class InstallResult { kCommitted, kRevertedSelfTest, kStageRejected };
+enum class InstallResult {
+  kCommitted,
+  kRevertedSelfTest,
+  kStageRejected,
+  kPowerLoss,  // cut during activation/commit marker; boot() decides fate
+};
+const char* install_result_name(InstallResult r);
 InstallResult install_image(ecu::Flash& flash, const std::string& image_name,
                             std::uint32_t version, const util::Bytes& image,
                             const std::function<bool()>& self_test);
+
+/// Activates an already-STAGED image (e.g. streamed in by
+/// fetch_and_stage_with_retry) with a confirm-or-revert deadline: if the
+/// vehicle reboots after `now + confirm_timeout` without the commit marker,
+/// `Flash::boot()` auto-reverts to the previous bank. Runs the self-test and
+/// commits (raising the rollback floor) or reverts, exactly like
+/// install_image, but power-cut aware.
+InstallResult install_staged(ecu::Flash& flash, util::SimTime now,
+                             util::SimTime confirm_timeout,
+                             const std::function<bool()>& self_test);
 
 }  // namespace aseck::ota

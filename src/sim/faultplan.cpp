@@ -15,6 +15,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kRadioLoss: return "radio_loss";
     case FaultKind::kOutage: return "outage";
+    case FaultKind::kPowerLoss: return "power_loss";
   }
   return "?";
 }
@@ -30,6 +31,7 @@ bool fault_kind_auto_recovers(FaultKind k) {
     case FaultKind::kCrash:
     case FaultKind::kPartition:
     case FaultKind::kOutage:
+    case FaultKind::kPowerLoss:  // the ECU stays dark until boot() recovery
       return false;
   }
   return false;
@@ -101,6 +103,15 @@ void FaultPlan::apply(const FaultSpec& spec, bool begin) {
     case FaultKind::kRadioLoss:
     case FaultKind::kOutage:
       p.down_ = std::max(0, p.down_ + (begin ? 1 : -1));
+      break;
+    case FaultKind::kPowerLoss:
+      bump(p.power_loss_p_);
+      if (begin) {
+        p.power_cut_at_ = spec.page_index;
+        p.write_ops_ = 0;
+      } else {
+        p.power_cut_at_ = -1;
+      }
       break;
   }
   const auto hit = handlers_.find(HandlerKey{spec.target, spec.kind});

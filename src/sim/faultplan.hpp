@@ -49,6 +49,7 @@ enum class FaultKind {
   kPartition,       // link partition (e.g. gateway <-> domain bus)
   kRadioLoss,       // V2X radio loss burst
   kOutage,          // service unavailability (OTA repository)
+  kPowerLoss,       // power cut during a flash write (install / commit marker)
 };
 const char* fault_kind_name(FaultKind k);
 
@@ -63,6 +64,12 @@ struct FaultSpec {
   FaultKind kind = FaultKind::kFrameDrop;
   double probability = 1.0;              // per-frame kinds: P(frame affected)
   util::SimTime delay = util::SimTime::zero();  // kFrameDelay: added latency
+  /// kPowerLoss only: cut power at exactly this write-op index (page program
+  /// or header write, counted from the window start). -1 = no exact index;
+  /// with `probability` < 1 each write op instead rolls Bernoulli(p) — the
+  /// "Poisson-per-page" mode. Exact-index cuts fire regardless of
+  /// `probability` (set probability = 0 for a purely scripted cut).
+  std::int64_t page_index = -1;
 };
 
 /// Live per-target fault state, consulted by a substrate on its hot path.
@@ -81,16 +88,32 @@ class FaultPort {
   }
   /// Inside a kCrash/kPartition/kRadioLoss/kOutage window.
   bool down() const { return down_ > 0; }
+  /// One persistent flash write op is about to happen; true = the power cut
+  /// hits this write. Counts write ops so an exact `page_index` cut lands on
+  /// precisely one op; otherwise rolls Bernoulli(power_loss_p_) per op
+  /// (drawing no randomness when the probability is zero).
+  bool consume_power_loss() {
+    const std::uint64_t idx = write_ops_++;
+    if (power_cut_at_ >= 0 && static_cast<std::uint64_t>(power_cut_at_) == idx) {
+      return true;
+    }
+    return power_loss_p_ > 0 && rng_->chance(power_loss_p_);
+  }
+  /// Write ops observed since the last kPowerLoss window began.
+  std::uint64_t write_ops() const { return write_ops_; }
   /// Any fault currently armed on this port.
   bool active() const {
     return down_ > 0 || drop_p_ > 0 || corrupt_p_ > 0 || dup_p_ > 0 ||
-           delay_p_ > 0;
+           delay_p_ > 0 || power_loss_p_ > 0 || power_cut_at_ >= 0;
   }
 
  private:
   friend class FaultPlan;
   explicit FaultPort(util::Rng& rng) : rng_(&rng) {}
   double drop_p_ = 0, corrupt_p_ = 0, dup_p_ = 0, delay_p_ = 0;
+  double power_loss_p_ = 0;
+  std::int64_t power_cut_at_ = -1;  // exact write-op index; -1 = disabled
+  std::uint64_t write_ops_ = 0;    // write ops seen in the current window
   util::SimTime delay_ = util::SimTime::zero();
   int down_ = 0;  // nesting count of overlapping stateful windows
   util::Rng* rng_;

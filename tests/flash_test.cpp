@@ -1,0 +1,360 @@
+// Journaled flash: streaming installs, power-loss atomicity, boot-time
+// recovery, watermark resume semantics, and the anti-rollback edge cases.
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "ecu/flash.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/scheduler.hpp"
+
+namespace aseck::ecu {
+namespace {
+
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::FaultSpec;
+using sim::Scheduler;
+using util::Bytes;
+using util::SimTime;
+
+Bytes patterned(std::size_t n, std::uint8_t salt) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 37 + salt) & 0xFF);
+  }
+  return b;
+}
+
+FirmwareImage image(std::uint32_t version, std::size_t bytes,
+                    std::uint8_t salt) {
+  return FirmwareImage{"fw", version, patterned(bytes, salt)};
+}
+
+Flash::StageRequest request_for(const FirmwareImage& img) {
+  Flash::StageRequest req;
+  req.name = img.name;
+  req.version = img.version;
+  req.total_bytes = img.code.size();
+  req.sha256 = crypto::sha256_bytes(img.code);
+  return req;
+}
+
+/// Arms a single kPowerLoss window cutting at exactly write-op `k`.
+struct CutRig {
+  Scheduler sched;
+  FaultPlan plan{sched, 1};
+  sim::FaultPort* arm(std::int64_t k) {
+    FaultSpec spec;
+    spec.target = "flash";
+    spec.kind = FaultKind::kPowerLoss;
+    spec.probability = 0.0;
+    spec.page_index = k;
+    plan.window(SimTime::zero(), SimTime::from_s(3600), spec);
+    sched.run_until(SimTime::from_ms(1));
+    return &plan.port("flash");
+  }
+};
+
+TEST(FlashJournal, StreamingInstallTracksWatermarkPerPage) {
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  const FirmwareImage next = image(2, 2 * Flash::kPageSize + 100, 0x02);
+  ASSERT_TRUE(flash.stage_begin(request_for(next)));
+  EXPECT_EQ(flash.staging_watermark(), 0u);
+
+  // Half a page: buffered volatile, nothing durable yet.
+  util::BytesView view(next.code);
+  ASSERT_EQ(flash.stage_write(view.subspan(0, Flash::kPageSize / 2)),
+            FlashWrite::kOk);
+  EXPECT_EQ(flash.staging_watermark(), 0u);
+  // Completing the page programs it.
+  ASSERT_EQ(flash.stage_write(view.subspan(Flash::kPageSize / 2,
+                                           Flash::kPageSize / 2)),
+            FlashWrite::kOk);
+  EXPECT_EQ(flash.staging_watermark(), Flash::kPageSize);
+  // The rest (one full page + a 100-byte tail page).
+  ASSERT_EQ(flash.stage_write(view.subspan(Flash::kPageSize)), FlashWrite::kOk);
+  EXPECT_EQ(flash.staging_watermark(), next.code.size());
+
+  ASSERT_EQ(flash.stage_finish(), FlashWrite::kOk);
+  ASSERT_NE(flash.staged(), nullptr);
+  EXPECT_EQ(flash.staged()->code, next.code);
+  EXPECT_TRUE(flash.activate());
+  EXPECT_EQ(flash.active()->version, 2u);
+}
+
+TEST(FlashJournal, OverflowingDeclaredLengthIsRejected) {
+  Flash flash;
+  const FirmwareImage next = image(2, 100, 0x02);
+  ASSERT_TRUE(flash.stage_begin(request_for(next)));
+  const Bytes too_much(101, 0xEE);
+  EXPECT_EQ(flash.stage_write(too_much), FlashWrite::kRejected);
+}
+
+TEST(FlashJournal, FinishRejectsWrongBytesAndErasesJournal) {
+  Flash flash;
+  const FirmwareImage next = image(2, 600, 0x02);
+  ASSERT_TRUE(flash.stage_begin(request_for(next)));
+  ASSERT_EQ(flash.stage_write(patterned(600, 0x77)), FlashWrite::kOk);
+  EXPECT_EQ(flash.stage_finish(), FlashWrite::kRejected);
+  EXPECT_EQ(flash.staged(), nullptr);
+  EXPECT_EQ(flash.staging_watermark(), 0u);
+}
+
+// Satellite: re-staging the same image digest resumes at the watermark;
+// a different digest resets the journal (no stale-watermark resume).
+TEST(FlashJournal, RestageSameDigestResumesAtWatermark) {
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  const FirmwareImage next = image(2, 3 * Flash::kPageSize, 0x02);
+  ASSERT_TRUE(flash.stage_begin(request_for(next)));
+  ASSERT_EQ(flash.stage_write(
+                util::BytesView(next.code).subspan(0, 2 * Flash::kPageSize)),
+            FlashWrite::kOk);
+  EXPECT_EQ(flash.staging_watermark(), 2 * Flash::kPageSize);
+
+  // Re-open with the same digest: the two durable pages survive.
+  ASSERT_TRUE(flash.stage_begin(request_for(next)));
+  EXPECT_EQ(flash.staging_watermark(), 2 * Flash::kPageSize);
+  ASSERT_EQ(flash.stage_write(
+                util::BytesView(next.code).subspan(2 * Flash::kPageSize)),
+            FlashWrite::kOk);
+  EXPECT_EQ(flash.stage_finish(), FlashWrite::kOk);
+  EXPECT_EQ(flash.staged()->code, next.code);
+}
+
+TEST(FlashJournal, RestageDifferentDigestResetsJournal) {
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  const FirmwareImage a = image(2, 3 * Flash::kPageSize, 0x02);
+  ASSERT_TRUE(flash.stage_begin(request_for(a)));
+  ASSERT_EQ(flash.stage_write(
+                util::BytesView(a.code).subspan(0, 2 * Flash::kPageSize)),
+            FlashWrite::kOk);
+  EXPECT_EQ(flash.staging_watermark(), 2 * Flash::kPageSize);
+
+  // Same version/name/length, different bytes: the old watermark must NOT
+  // leak into this install.
+  const FirmwareImage b = image(2, 3 * Flash::kPageSize, 0x99);
+  ASSERT_TRUE(flash.stage_begin(request_for(b)));
+  EXPECT_EQ(flash.staging_watermark(), 0u);
+  ASSERT_EQ(flash.stage_write(b.code), FlashWrite::kOk);
+  ASSERT_EQ(flash.stage_finish(), FlashWrite::kOk);
+  EXPECT_EQ(flash.staged()->code, b.code);
+}
+
+TEST(FlashJournal, LegacyStageOverwritesPreviouslyStagedImage) {
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  ASSERT_TRUE(flash.stage(image(2, 5000, 0x02)));
+  ASSERT_NE(flash.staged(), nullptr);
+  const FirmwareImage replacement = image(3, 7000, 0x03);
+  ASSERT_TRUE(flash.stage(replacement));
+  ASSERT_NE(flash.staged(), nullptr);
+  EXPECT_EQ(flash.staged()->version, 3u);
+  EXPECT_EQ(flash.staged()->code, replacement.code);
+}
+
+// Satellite: revert() must fail once commit() raised the rollback floor
+// above the previous bank's version.
+TEST(FlashJournal, RevertFailsAfterCommitRaisesFloorAbovePreviousBank) {
+  Flash flash;
+  flash.provision(image(5, 1000, 0x05));
+  ASSERT_TRUE(flash.stage(image(6, 1200, 0x06)));
+  ASSERT_TRUE(flash.activate());
+  flash.commit();
+  EXPECT_EQ(flash.rollback_floor(), 6u);
+  // The previous bank holds v5 < floor 6: reverting is a permanent failure.
+  EXPECT_FALSE(flash.revert());
+  EXPECT_EQ(flash.active()->version, 6u);
+}
+
+TEST(FlashPowerLoss, CutMidPageLeavesTornPageDiscardedAtBoot) {
+  CutRig rig;
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  // Ops: 0 = staging header, 1..N = pages. Cut inside page 2 (op index 2).
+  flash.set_fault_port(rig.arm(2));
+  const FirmwareImage next = image(2, 4 * Flash::kPageSize, 0x02);
+  EXPECT_FALSE(flash.stage(next));
+  EXPECT_TRUE(flash.lost_power());
+  // Down until boot: every write is refused.
+  EXPECT_FALSE(flash.stage(next));
+
+  const Flash::BootReport rep = flash.boot();
+  EXPECT_TRUE(rep.bootable);
+  EXPECT_EQ(rep.active_version, 1u);
+  EXPECT_EQ(rep.torn_pages_discarded, 1u);
+  EXPECT_TRUE(rep.staging_resumable);
+  EXPECT_EQ(rep.resume_watermark, Flash::kPageSize);  // page 1 survived
+
+  // Resume completes with only the missing pages rewritten.
+  ASSERT_TRUE(flash.stage(next));
+  ASSERT_TRUE(flash.activate());
+  flash.commit();
+  EXPECT_EQ(flash.active()->code, next.code);
+}
+
+TEST(FlashPowerLoss, CutAtActivationMarkerKeepsStagedState) {
+  CutRig rig;
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  const FirmwareImage next = image(2, Flash::kPageSize, 0x02);
+  ASSERT_TRUE(flash.stage(next));
+  // Attach the port after staging: the very next write op (index 0) is the
+  // ACTIVE header itself.
+  flash.set_fault_port(rig.arm(0));
+  EXPECT_FALSE(flash.activate());
+  EXPECT_TRUE(flash.lost_power());
+
+  const Flash::BootReport rep = flash.boot();
+  EXPECT_TRUE(rep.bootable);
+  EXPECT_EQ(rep.active_version, 1u);  // old image still boots
+  EXPECT_EQ(rep.torn_headers_discarded, 1u);
+  // The STAGED image survived the torn header copy intact.
+  ASSERT_NE(flash.staged(), nullptr);
+  EXPECT_EQ(flash.staged()->version, 2u);
+  ASSERT_TRUE(flash.activate());
+  flash.commit();
+  EXPECT_EQ(flash.active()->version, 2u);
+}
+
+TEST(FlashPowerLoss, CutAtCommitMarkerRebootBeforeDeadlineStaysActive) {
+  CutRig rig;
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  const FirmwareImage next = image(2, Flash::kPageSize, 0x02);
+  ASSERT_TRUE(flash.stage(next));
+  const SimTime t0 = SimTime::from_s(1);
+  ASSERT_TRUE(flash.activate(t0, SimTime::from_s(30)));
+  flash.set_fault_port(rig.arm(0));  // next write op = commit marker
+  flash.commit();
+  EXPECT_TRUE(flash.lost_power());
+  EXPECT_EQ(flash.rollback_floor(), 1u);  // fuse write never happened
+
+  const Flash::BootReport rep = flash.boot(t0 + SimTime::from_s(5));
+  EXPECT_TRUE(rep.bootable);
+  EXPECT_FALSE(rep.auto_reverted);
+  EXPECT_EQ(rep.active_version, 2u);  // still inside the confirm window
+  EXPECT_TRUE(flash.confirm_pending());
+  flash.commit();
+  EXPECT_EQ(flash.rollback_floor(), 2u);
+}
+
+TEST(FlashPowerLoss, LapsedConfirmDeadlineAutoRevertsAtBoot) {
+  Flash flash;
+  const FirmwareImage oldf = image(1, 1000, 0x01);
+  flash.provision(oldf);
+  ASSERT_TRUE(flash.stage(image(2, Flash::kPageSize, 0x02)));
+  const SimTime t0 = SimTime::from_s(1);
+  ASSERT_TRUE(flash.activate(t0, SimTime::from_s(30)));
+  // Never confirmed; reboot lands after the deadline.
+  const Flash::BootReport rep = flash.boot(t0 + SimTime::from_s(31));
+  EXPECT_TRUE(rep.bootable);
+  EXPECT_TRUE(rep.auto_reverted);
+  EXPECT_EQ(rep.active_version, 1u);
+  ASSERT_NE(flash.active(), nullptr);
+  EXPECT_EQ(flash.active()->code, oldf.code);
+}
+
+TEST(FlashPowerLoss, BootRepairsRollbackFloorFromConfirmedSlot) {
+  Flash flash;
+  flash.provision(image(3, 1000, 0x03));
+  ASSERT_TRUE(flash.stage(image(4, 2000, 0x04)));
+  ASSERT_TRUE(flash.activate());
+  flash.commit();
+  EXPECT_EQ(flash.rollback_floor(), 4u);
+  // boot() must keep (or re-derive) the floor from the CONFIRMED slot.
+  const Flash::BootReport rep = flash.boot();
+  EXPECT_TRUE(rep.bootable);
+  EXPECT_EQ(rep.active_version, 4u);
+  EXPECT_EQ(flash.rollback_floor(), 4u);
+}
+
+TEST(FlashPowerLoss, ExhaustiveCutSweepNeverBricksAndAlwaysConverges) {
+  const FirmwareImage oldf = image(1, 2 * Flash::kPageSize + 11, 0x01);
+  const FirmwareImage next = image(2, 3 * Flash::kPageSize + 500, 0x02);
+  for (std::int64_t k = 0; k < 32; ++k) {
+    CutRig rig;
+    Flash flash;
+    flash.provision(oldf);
+    flash.set_fault_port(rig.arm(k));
+    const SimTime t0 = SimTime::from_s(1);
+    bool cut = false;
+    if (!flash.stage(next)) {
+      ASSERT_TRUE(flash.lost_power()) << "k=" << k;
+      cut = true;
+    } else if (!flash.activate(t0, SimTime::from_s(30))) {
+      ASSERT_TRUE(flash.lost_power()) << "k=" << k;
+      cut = true;
+    } else {
+      flash.commit();
+      cut = flash.lost_power();
+    }
+    if (cut) {
+      const Flash::BootReport rep = flash.boot(t0 + SimTime::from_s(2));
+      ASSERT_TRUE(rep.bootable) << "bricked at k=" << k;
+      const FirmwareImage* a = flash.active();
+      ASSERT_NE(a, nullptr) << "k=" << k;
+      ASSERT_TRUE(a->code == oldf.code || a->code == next.code)
+          << "torn image booted at k=" << k;
+      if (flash.confirm_pending()) {
+        flash.commit();
+      } else if (a->version != next.version) {
+        ASSERT_TRUE(flash.stage(next)) << "k=" << k;
+        ASSERT_TRUE(flash.activate(t0 + SimTime::from_s(2))) << "k=" << k;
+        flash.commit();
+      }
+    }
+    ASSERT_NE(flash.active(), nullptr) << "k=" << k;
+    EXPECT_EQ(flash.active()->code, next.code) << "k=" << k;
+    EXPECT_EQ(flash.rollback_floor(), 2u) << "k=" << k;
+  }
+}
+
+TEST(FlashPowerLoss, PoissonPerWriteCutsAreSurvivable) {
+  // Bernoulli(p) per write op, many trials: every trial must end bootable.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scheduler sched;
+    FaultPlan plan(sched, seed);
+    FaultSpec spec;
+    spec.target = "flash";
+    spec.kind = FaultKind::kPowerLoss;
+    spec.probability = 0.05;
+    plan.window(SimTime::zero(), SimTime::from_s(3600), spec);
+    sched.run_until(SimTime::from_ms(1));
+
+    const FirmwareImage oldf = image(1, Flash::kPageSize, 0x01);
+    const FirmwareImage next = image(2, 6 * Flash::kPageSize, 0x02);
+    Flash flash;
+    flash.provision(oldf);
+    flash.set_fault_port(&plan.port("flash"));
+    const SimTime t0 = SimTime::from_s(1);
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      if (flash.active() && flash.active()->version == 2 &&
+          !flash.confirm_pending()) {
+        break;
+      }
+      if (flash.lost_power()) {
+        const Flash::BootReport rep = flash.boot(t0);
+        ASSERT_TRUE(rep.bootable) << "seed=" << seed;
+        const FirmwareImage* a = flash.active();
+        ASSERT_TRUE(a->code == oldf.code || a->code == next.code)
+            << "seed=" << seed;
+        continue;
+      }
+      if (flash.confirm_pending()) {
+        flash.commit();
+      } else if (flash.staged()) {
+        flash.activate(t0, SimTime::from_s(30));
+      } else {
+        flash.stage(next);
+      }
+    }
+    ASSERT_NE(flash.active(), nullptr) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace aseck::ecu
