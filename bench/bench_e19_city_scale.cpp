@@ -1,0 +1,190 @@
+// Experiment E19 — sharded city-scale V2X simulation (paper §4.2 at metro
+// scale: the V2X workload of a whole city, not an intersection).
+//
+// The single-threaded scheduler tops out near 500 interacting V2X nodes
+// (E2); a metropolitan deployment is 100k+ vehicles. E19 runs the
+// `v2x::MetroWorld` city model on `sim::ShardedWorld`: the metro area is
+// partitioned into radio-range-sized cells, each cell owns a private event
+// loop, and cross-cell BSM spill + vehicle migration ride deterministic
+// epoch batches (see sim/sharded.hpp for the four-point determinism
+// contract).
+//
+// Reported per thread count: wall time, BSM throughput (msgs/sec of
+// simulated radio traffic), vehicle-sim-seconds/sec, cross-shard message
+// volume, and speedup vs the 1-thread run. After the sweep: modeled wire
+// bytes per vehicle per second, model memory per vehicle, and modeled HSM
+// verify utilization (E17-calibrated 350 us/verify) — the paper's
+// scalability knobs.
+//
+// Determinism: every run's digest (config, totals, state hash, merged
+// metrics; no wall-clock content) must be byte-identical across thread
+// counts. Exit code = number of digests differing from the 1-thread
+// reference. `--digest` prints the digest JSON alone, so CI can diff a
+// 1-thread run against a 4-thread run byte-for-byte.
+//
+// Flags: --vehicles N  --sim-s S  --seed U  --threads T (sweep 1,2,..,T)
+//        --smoke (small preset)  --digest (digest JSON only, no timing)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "v2x/citynet.hpp"
+
+using namespace aseck;
+using util::SimTime;
+
+namespace {
+
+v2x::MetroConfig make_config(std::size_t vehicles, std::uint64_t seed,
+                             unsigned threads) {
+  v2x::MetroConfig cfg;
+  cfg.vehicles = vehicles;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  // Keep metro density (~250 vehicles/km^2) as the fleet scales, so
+  // per-vehicle neighborhood load is comparable at every size. Snap to the
+  // 500 m shard cell.
+  const double side =
+      std::sqrt(static_cast<double>(vehicles) / 100000.0) * 20000.0;
+  const double snapped = std::max(1000.0, std::round(side / 500.0) * 500.0);
+  cfg.width_m = snapped;
+  cfg.height_m = snapped;
+  return cfg;
+}
+
+struct RunResult {
+  unsigned threads = 0;
+  double wall_s = 0;
+  v2x::MetroWorld::Totals totals;
+  std::string digest;
+  double bytes_per_vehicle = 0;
+  std::uint32_t shards = 0;
+  double verify_cost_us = 0;
+};
+
+RunResult run_once(const v2x::MetroConfig& cfg, double sim_s) {
+  RunResult r;
+  r.threads = cfg.threads;
+  v2x::MetroWorld metro(cfg);
+  const auto wall0 = std::chrono::steady_clock::now();
+  metro.run_until(SimTime::from_seconds_f(sim_s));
+  const auto wall1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  r.totals = metro.totals();
+  r.digest = metro.digest_json();
+  r.bytes_per_vehicle = metro.bytes_per_vehicle();
+  r.shards = metro.world().shard_count();
+  r.verify_cost_us = cfg.verify_cost_us;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t vehicles = 100000;
+  double sim_s = 1.0;
+  std::uint64_t seed = 42;
+  unsigned max_threads = 4;
+  bool smoke = false, digest_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--vehicles") == 0 && i + 1 < argc) {
+      vehicles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--sim-s") == 0 && i + 1 < argc) {
+      sim_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--digest") == 0) {
+      digest_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--vehicles N] [--sim-s S] [--seed U] "
+                   "[--threads T] [--smoke] [--digest]\n",
+                   argv[0]);
+      return 255;
+    }
+  }
+  if (smoke) {
+    vehicles = 5000;
+    sim_s = 1.0;
+  }
+  if (max_threads == 0) max_threads = 1;
+
+  if (digest_only) {
+    // One run at exactly --threads; stdout is the digest and nothing else,
+    // so CI can diff a 1-thread run against an N-thread run byte-for-byte.
+    const RunResult r = run_once(make_config(vehicles, seed, max_threads), sim_s);
+    std::printf("%s\n", r.digest.c_str());
+    return 0;
+  }
+
+  std::printf(
+      "E19 — sharded city-scale V2X: %zu vehicles, %.1f sim-s, seed %llu\n\n",
+      vehicles, sim_s, static_cast<unsigned long long>(seed));
+
+  std::vector<unsigned> sweep{1};
+  for (unsigned t = 2; t <= max_threads; t *= 2) sweep.push_back(t);
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+
+  benchutil::Table table({"threads", "wall_s", "bsm_msgs/s", "veh_sim_s/s",
+                          "cross_msgs", "speedup", "digest"});
+  std::vector<RunResult> results;
+  int mismatches = 0;
+  for (unsigned t : sweep) {
+    const RunResult r = run_once(make_config(vehicles, seed, t), sim_s);
+    const bool match = results.empty() || r.digest == results.front().digest;
+    if (!match) ++mismatches;
+    const double msgs =
+        static_cast<double>(r.totals.bsm_tx + r.totals.rx + r.totals.lost);
+    table.add_row({std::to_string(t), benchutil::fmt("%.2f", r.wall_s),
+               benchutil::fmt_u(static_cast<std::uint64_t>(msgs / r.wall_s)),
+               benchutil::fmt_u(static_cast<std::uint64_t>(
+                   static_cast<double>(vehicles) * sim_s / r.wall_s)),
+               benchutil::fmt_u(r.totals.cross_msgs),
+               benchutil::fmt("%.2fx", results.empty()
+                                           ? 1.0
+                                           : results.front().wall_s / r.wall_s),
+               match ? "match" : "MISMATCH"});
+    results.push_back(r);
+  }
+  table.print();
+
+  const RunResult& ref = results.front();
+  const double sim_seconds = sim_s;
+  std::printf("\nworkload: %u shards, %llu BSM tx, %llu receptions "
+              "(%llu cross-shard), %llu lost, %llu migrations, %llu "
+              "pseudonym rotations\n",
+              ref.shards, static_cast<unsigned long long>(ref.totals.bsm_tx),
+              static_cast<unsigned long long>(ref.totals.rx),
+              static_cast<unsigned long long>(ref.totals.rx_cross),
+              static_cast<unsigned long long>(ref.totals.lost),
+              static_cast<unsigned long long>(ref.totals.migrations),
+              static_cast<unsigned long long>(ref.totals.rotations));
+  std::printf("wire load: %.1f bytes/vehicle/sim-s tx\n",
+              static_cast<double>(ref.totals.bytes_tx) /
+                  static_cast<double>(vehicles) / sim_seconds);
+  std::printf("model memory: %.1f bytes/vehicle\n", ref.bytes_per_vehicle);
+  // Modeled HSM load: every delivered BSM costs one P-256 verify
+  // (E17-calibrated). >1.0 means a single per-vehicle HSM could not keep
+  // up and batching/sampling (paper §5 cost pressure) becomes mandatory.
+  const double verifies_per_vehicle_s =
+      static_cast<double>(ref.totals.rx) / static_cast<double>(vehicles) /
+      sim_seconds;
+  std::printf("modeled HSM verify utilization: %.2f (%.0f verifies/vehicle/s "
+              "x %.0f us)\n",
+              verifies_per_vehicle_s * ref.verify_cost_us / 1e6,
+              verifies_per_vehicle_s, ref.verify_cost_us);
+  std::printf("\ndeterminism: %d digest mismatch(es) across %zu thread "
+              "counts (state hash %s)\n",
+              mismatches, sweep.size(),
+              mismatches == 0 ? "byte-identical" : "DIVERGED");
+  return mismatches > 255 ? 255 : mismatches;
+}

@@ -1,9 +1,24 @@
 #pragma once
 // Discrete-event simulation kernel.
 //
-// Every network, ECU, and attacker model in the library is driven by one
-// `Scheduler`. Events at equal timestamps execute in insertion order
-// (stable FIFO tie-break), which keeps runs bit-reproducible.
+// Every network, ECU, and attacker model in the library is driven by a
+// `Scheduler` — historically one global instance, now also one per shard in
+// the sharded world (sim/sharded.hpp).
+//
+// DETERMINISM CONTRACT: events are totally ordered by the key
+// (time, seq), where `seq` is the value of a monotonically increasing
+// counter assigned at schedule_at/schedule_in/schedule_after time (one
+// counter per Scheduler; cancelled events still consume their seq). Events
+// at equal timestamps therefore execute in exact scheduling order (stable
+// FIFO tie-break), and the firing order is a pure function of the sequence
+// of schedule/cancel calls — independent of wall clock, thread count, or
+// address-space layout. cancel() never perturbs the order of surviving
+// events: it only removes the id from the live set, so any interleaving of
+// cancel + re-schedule produces the order given by the surviving (time,
+// seq) keys (regression-tested in sim_test.cpp). Everything that claims
+// bit-reproducibility — the chaos plane, the epoch merges of the sharded
+// world, every CI determinism diff — leans on this contract; do not weaken
+// it.
 
 #include <cstdint>
 #include <functional>

@@ -191,6 +191,25 @@ double LatencyHistogram::bucket_low(std::size_t i) const {
   return lo_ + w * static_cast<double>(i);
 }
 
+void LatencyHistogram::merge_from(const LatencyHistogram& o) {
+  if (o.lo_ != lo_ || o.hi_ != hi_ || o.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("LatencyHistogram::merge_from: layout mismatch");
+  }
+  if (o.count_ != 0) {
+    if (count_ == 0) {
+      min_ = o.min_;
+      max_ = o.max_;
+    } else {
+      min_ = std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+  }
+  count_ += o.count_;
+  nan_ += o.nan_;
+  sum_ += o.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+}
+
 double LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0) return min_;
@@ -270,6 +289,14 @@ const LatencyHistogram* MetricsRegistry::find_histogram(
     std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).inc(c->value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).add(g->value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h->low(), h->high(), h->buckets()).merge_from(*h);
+  }
 }
 
 namespace {

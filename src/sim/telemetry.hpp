@@ -176,8 +176,19 @@ class LatencyHistogram {
   std::size_t bucket_count(std::size_t i) const { return counts_.at(i); }
   double bucket_low(std::size_t i) const;
   double bucket_high(std::size_t i) const { return bucket_low(i + 1); }
+  double low() const { return lo_; }
+  double high() const { return hi_; }
   /// Percentile estimated by linear interpolation within buckets; p in [0,100].
   double percentile(double p) const;
+
+  /// Folds `o` into this histogram. Both must share the exact bucket layout
+  /// (lo, hi, bucket count) — per-shard registries create instruments from
+  /// the same code paths, so layouts match by construction; a mismatch
+  /// throws. Merging a stream split across K histograms yields the same
+  /// count/sum/min/max/buckets as one histogram that saw every sample
+  /// (sums are added in merge order, so merge in a canonical order when
+  /// bit-stable output matters).
+  void merge_from(const LatencyHistogram& o);
 
  private:
   double lo_, hi_;
@@ -229,6 +240,14 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
   ///  mean,p50,p95,p99}}}
   std::string to_json() const;
+
+  /// Merge semantics for sharded telemetry: counters add, gauges add (treat
+  /// merged gauges as additive totals), histograms fold bucket-wise via
+  /// LatencyHistogram::merge_from (layouts must match). Instruments missing
+  /// on this side are created. Merging per-shard registries in ascending
+  /// shard id order reproduces, byte-for-byte, the JSON a single registry
+  /// would have exported for the same event stream (telemetry_test.cpp).
+  void merge_from(const MetricsRegistry& other);
 
  private:
   struct StringHash {

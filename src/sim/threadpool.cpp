@@ -1,0 +1,81 @@
+#include "sim/threadpool.hpp"
+
+namespace aseck::sim {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    error_ = nullptr;
+    job_.store(&fn, std::memory_order_relaxed);
+    job_n_.store(n, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    // Release: workers that claim an index via next_ observe job_/job_n_.
+    next_.store(0, std::memory_order_release);
+    ++gen_;
+  }
+  cv_work_.notify_all();
+  work();  // the coordinator claims indices too
+  std::unique_lock<std::mutex> lk(m_);
+  cv_done_.wait(lk, [this, n] { return completed_.load() == n; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::work() {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_acquire);
+    const std::size_t n = job_n_.load(std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      (*job_.load(std::memory_order_relaxed))(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lk(m_);  // pair with cv_done_ wait
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
+      if (stop_) return;
+      seen = gen_;
+    }
+    work();
+  }
+}
+
+}  // namespace aseck::sim

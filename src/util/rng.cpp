@@ -124,4 +124,13 @@ Rng Rng::fork() {
   return Rng(next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL);
 }
 
+Rng Rng::for_stream(std::uint64_t master_seed, std::uint64_t stream_id) {
+  // Decorrelate the master seed once, then place stream seeds at
+  // golden-ratio increments: SplitMix64 (inside Rng's constructor) is a
+  // bijection of the seed, so distinct ids yield distinct 256-bit states.
+  SplitMix64 sm(master_seed);
+  const std::uint64_t base = sm.next();
+  return Rng(base + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
+}
+
 }  // namespace aseck::util

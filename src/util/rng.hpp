@@ -75,6 +75,17 @@ class Rng {
   /// Derives an independent child stream (for per-component RNGs).
   Rng fork();
 
+  /// Derives the `stream_id`-th independent stream from `master_seed`
+  /// without constructing (or perturbing) a master generator. Used for
+  /// per-shard RNGs in the sharded world: stream i is a pure function of
+  /// (master_seed, i), so resharding or re-running any subset of shards
+  /// reproduces the same draws. Streams for distinct ids are seeded at
+  /// golden-ratio-spaced points of the SplitMix64 sequence space and then
+  /// expanded into distinct 256-bit xoshiro states; adjacent ids share no
+  /// prefix (known-answer + overlap tests in util_test.cpp pin this down
+  /// across platforms).
+  static Rng for_stream(std::uint64_t master_seed, std::uint64_t stream_id);
+
  private:
   std::uint64_t s_[4];
   double spare_ = 0.0;

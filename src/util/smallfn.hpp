@@ -1,0 +1,93 @@
+#pragma once
+// Small-buffer, move-only callable wrapper.
+//
+// The sharded simulation exchanges millions of cross-shard messages per
+// simulated second; `std::function` heap-allocates for captures beyond a
+// couple of pointers and must be copyable. `SmallFn` stores the callable
+// inline (compile-time capacity check, no heap, no RTTI) and is move-only,
+// which is exactly what an epoch outbox needs: append, move across the
+// barrier, invoke once on the destination shard.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aseck::util {
+
+template <typename Sig, std::size_t Capacity = 64>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFn<R(Args...), Capacity> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor) mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "SmallFn: capture too large for inline buffer");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "SmallFn: over-aligned capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "SmallFn: capture must be nothrow-move-constructible");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p, Args&&... a) -> R {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(a)...);
+    };
+    relocate_ = [](void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  void move_from(SmallFn& o) {
+    if (o.invoke_ == nullptr) return;
+    o.relocate_(buf_, o.buf_);
+    invoke_ = o.invoke_;
+    relocate_ = o.relocate_;
+    destroy_ = o.destroy_;
+    o.invoke_ = nullptr;
+    o.relocate_ = nullptr;
+    o.destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace aseck::util

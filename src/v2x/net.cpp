@@ -9,41 +9,94 @@ V2xMedium::V2xMedium(Scheduler& sched, double range_m, double loss_prob,
                      std::uint64_t seed)
     : sched_(sched), range_(range_m), loss_prob_(loss_prob), rng_(seed) {}
 
-void V2xMedium::attach(V2xRadio* radio) { radios_.push_back(radio); }
+void V2xMedium::attach(V2xRadio* radio) {
+  radios_.push_back(radio);
+  const std::uint64_t seq = next_attach_seq_++;
+  attach_seq_[radio] = seq;
+  by_seq_[seq] = radio;
+  if (grid_) {
+    const Position p = radio->position();
+    grid_->update(seq, p.x, p.y);
+  }
+}
 
 void V2xMedium::detach(V2xRadio* radio) {
   radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
                 radios_.end());
   monitors_.erase(std::remove(monitors_.begin(), monitors_.end(), radio),
                   monitors_.end());
+  const auto it = attach_seq_.find(radio);
+  if (it != attach_seq_.end()) {
+    if (grid_) grid_->remove(it->second);
+    by_seq_.erase(it->second);
+    attach_seq_.erase(it);
+  }
 }
 
 void V2xMedium::attach_monitor(V2xRadio* radio) { monitors_.push_back(radio); }
+
+void V2xMedium::enable_grid_index(double cell_m, double slack_m) {
+  grid_ = std::make_unique<SpatialGrid>(cell_m > 0 ? cell_m : range_);
+  grid_slack_ = slack_m;
+  reindex_grid();
+}
+
+void V2xMedium::reindex_grid() {
+  if (!grid_) return;
+  for (V2xRadio* r : radios_) {
+    const Position p = r->position();
+    grid_->update(attach_seq_.find(r)->second, p.x, p.y);
+  }
+}
+
+bool V2xMedium::deliver_roll(V2xRadio* rx, const Spdu& msg, const Position& src,
+                             bool radio_down) {
+  ++receivers_checked_;
+  const double dist = rx->position().distance_to(src);
+  if (dist > range_) return false;
+  if (radio_down || (fault_port_ && fault_port_->roll_drop())) {
+    ++lost_;
+    ++lost_fault_;
+    return true;
+  }
+  if (loss_prob_ > 0 && rng_.chance(loss_prob_)) {
+    ++lost_;
+    return true;
+  }
+  ++delivered_;
+  // Propagation (~3.3 ns/m) + channel access jitter (0..2 ms DSRC CCH).
+  const SimTime delay =
+      SimTime::from_ns(static_cast<std::uint64_t>(dist * 3.34)) +
+      SimTime::from_us(rng_.uniform(2000));
+  sched_.schedule_in(delay,
+                     [this, rx, msg] { rx->on_spdu(msg, sched_.now()); });
+  return true;
+}
 
 void V2xMedium::broadcast(V2xRadio* from, Spdu msg) {
   ++transmitted_;
   const Position src = from->position();
   const bool radio_down = fault_port_ && fault_port_->down();
-  for (V2xRadio* rx : radios_) {
-    if (rx == from) continue;
-    const double dist = rx->position().distance_to(src);
-    if (dist > range_) continue;
-    if (radio_down || (fault_port_ && fault_port_->roll_drop())) {
-      ++lost_;
-      ++lost_fault_;
-      continue;
+  if (grid_) {
+    // Refresh the sender's record (senders are the fast movers that matter
+    // most, and they pass through here at BSM rate anyway).
+    const auto from_it = attach_seq_.find(from);
+    if (from_it != attach_seq_.end()) {
+      grid_->update(from_it->second, src.x, src.y);
     }
-    if (loss_prob_ > 0 && rng_.chance(loss_prob_)) {
-      ++lost_;
-      continue;
+    // Candidates sorted by attach seq == linear-scan order, so rng_ draws
+    // happen in exactly the order the linear path would make them.
+    grid_->query(src.x, src.y, range_ + grid_slack_, query_buf_);
+    for (const std::uint64_t seq : query_buf_) {
+      V2xRadio* rx = by_seq_.find(seq)->second;
+      if (rx == from) continue;
+      deliver_roll(rx, msg, src, radio_down);
     }
-    ++delivered_;
-    // Propagation (~3.3 ns/m) + channel access jitter (0..2 ms DSRC CCH).
-    const SimTime delay =
-        SimTime::from_ns(static_cast<std::uint64_t>(dist * 3.34)) +
-        SimTime::from_us(rng_.uniform(2000));
-    sched_.schedule_in(delay,
-                       [this, rx, msg] { rx->on_spdu(msg, sched_.now()); });
+  } else {
+    for (V2xRadio* rx : radios_) {
+      if (rx == from) continue;
+      deliver_roll(rx, msg, src, radio_down);
+    }
   }
   for (V2xRadio* mon : monitors_) {
     sched_.schedule_in(SimTime::from_us(1),

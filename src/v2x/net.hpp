@@ -9,9 +9,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/verify_engine.hpp"
+#include "v2x/grid.hpp"
 #include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
@@ -38,6 +40,13 @@ class V2xRadio {
 };
 
 /// Range + loss broadcast medium (DSRC/C-V2X abstraction).
+///
+/// Neighbor discovery defaults to a linear scan over attached radios (O(N)
+/// per broadcast). `enable_grid_index` switches to a uniform-grid spatial
+/// index (v2x/grid.hpp): candidates come from the cells overlapping the
+/// range circle and are visited in attach order, so grid-mode delivery —
+/// including every per-delivery RNG draw — is bit-identical to the linear
+/// scan as long as no radio outruns the configured slack between reindexes.
 class V2xMedium {
  public:
   V2xMedium(Scheduler& sched, double range_m = 300.0, double loss_prob = 0.0,
@@ -52,11 +61,25 @@ class V2xMedium {
   /// Broadcasts from `from`'s current position to all radios in range.
   void broadcast(V2xRadio* from, Spdu msg);
 
+  /// Switches neighbor discovery to the uniform-grid index. `cell_m` <= 0
+  /// keys cells to the radio range (the sharded-world cell geometry).
+  /// `slack_m` widens every query: radios may drift up to `slack_m` from
+  /// their recorded position before a `reindex_grid()` call is needed for
+  /// delivery to stay exact. Senders refresh their own record on every
+  /// broadcast; everyone else refreshes on reindex_grid().
+  void enable_grid_index(double cell_m = 0.0, double slack_m = 60.0);
+  bool grid_enabled() const { return grid_ != nullptr; }
+  /// Re-records every attached radio's current position in the grid.
+  void reindex_grid();
+
   std::uint64_t transmitted() const { return transmitted_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t lost() const { return lost_; }
   /// Deliveries suppressed by injected radio-loss faults (subset of lost()).
   std::uint64_t lost_fault() const { return lost_fault_; }
+  /// Receivers exact-distance-checked across all broadcasts: the neighbor
+  /// discovery cost metric E2 compares between linear and grid modes.
+  std::uint64_t receivers_checked() const { return receivers_checked_; }
 
   /// Attaches a fault-injection port (sim::FaultPlan): radio-loss windows
   /// (down()) black out all receivers; drop faults lose individual
@@ -64,17 +87,27 @@ class V2xMedium {
   void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
 
  private:
+  bool deliver_roll(V2xRadio* rx, const Spdu& msg, const Position& src,
+                    bool radio_down);
+
   Scheduler& sched_;
   double range_;
   double loss_prob_;
   util::Rng rng_;
   sim::FaultPort* fault_port_ = nullptr;
-  std::vector<V2xRadio*> radios_;
+  std::vector<V2xRadio*> radios_;  // ascending attach_seq_ order
   std::vector<V2xRadio*> monitors_;
+  std::unique_ptr<SpatialGrid> grid_;
+  double grid_slack_ = 0.0;
+  std::uint64_t next_attach_seq_ = 1;
+  std::unordered_map<V2xRadio*, std::uint64_t> attach_seq_;
+  std::unordered_map<std::uint64_t, V2xRadio*> by_seq_;
+  std::vector<std::uint64_t> query_buf_;
   std::uint64_t transmitted_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t lost_fault_ = 0;
+  std::uint64_t receivers_checked_ = 0;
 };
 
 /// Plausibility thresholds for misbehavior detection.

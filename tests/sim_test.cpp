@@ -253,6 +253,74 @@ TEST(ScheduleAfter, SaturatesInsteadOfWrappingOnOverflow) {
   EXPECT_EQ(s.now().ns, UINT64_MAX);
 }
 
+TEST(Scheduler, CancelThenRescheduleAfterKeepsSurvivorOrder) {
+  // Determinism-contract regression (see scheduler.hpp): cancelling an
+  // event must not perturb the relative order of the survivors, and an
+  // event re-scheduled via schedule_after at the same timestamp gets a
+  // fresh seq — it lands *behind* every event queued before the cancel,
+  // including ones scheduled after the victim.
+  Scheduler s;
+  std::vector<char> order;
+  s.schedule_at(SimTime::from_ms(1), [&] { order.push_back('a'); });
+  const EventId victim =
+      s.schedule_at(SimTime::from_ms(1), [&] { order.push_back('X'); });
+  s.schedule_at(SimTime::from_ms(1), [&] { order.push_back('b'); });
+  s.schedule_at(SimTime::from_ms(1), [&] { order.push_back('c'); });
+  s.cancel(victim);
+  // "Re-schedule" the cancelled work relative to now (t=0): same firing
+  // time as the survivors, but a later seq.
+  s.schedule_after(SimTime::from_ms(1), [&] { order.push_back('x'); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c', 'x'}));
+}
+
+TEST(Scheduler, CancelRescheduleInterleavingsAreSeqStable) {
+  // Exhaustive small-scale check: for every victim position k, cancelling
+  // event k and re-issuing it leaves the other events in their original
+  // relative order, with the replacement strictly last. The cancelled seq
+  // is consumed, never recycled.
+  for (int k = 0; k < 4; ++k) {
+    Scheduler s;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(
+          s.schedule_at(SimTime::from_us(7), [&order, i] { order.push_back(i); }));
+    }
+    s.cancel(ids[static_cast<std::size_t>(k)]);
+    const EventId re =
+        s.schedule_at(SimTime::from_us(7), [&order, k] { order.push_back(10 + k); });
+    EXPECT_GT(re.seq, ids.back().seq)
+        << "seq of a cancelled event must not be reused";
+    s.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 4; ++i) {
+      if (i != k) expect.push_back(i);
+    }
+    expect.push_back(10 + k);
+    EXPECT_EQ(order, expect) << "victim position " << k;
+  }
+}
+
+TEST(Scheduler, CancelInsideRunningEventAffectsSameTimestampBatch) {
+  // An event may cancel a later event that shares its timestamp; the
+  // cancel wins because (time, seq) order guarantees the canceller runs
+  // first. A schedule_after issued from the same event fires after the
+  // surviving batch.
+  Scheduler s;
+  std::vector<char> order;
+  EventId doomed{};
+  s.schedule_at(SimTime::from_ms(2), [&] {
+    order.push_back('A');
+    s.cancel(doomed);
+    s.schedule_after(SimTime::zero(), [&] { order.push_back('Z'); });
+  });
+  doomed = s.schedule_at(SimTime::from_ms(2), [&] { order.push_back('X'); });
+  s.schedule_at(SimTime::from_ms(2), [&] { order.push_back('B'); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'Z'}));
+}
+
 TEST(TraceSink, RecordsAndQueries) {
   TraceSink t;
   t.record(SimTime::from_us(1), "can0", "tx", "id=0x100");

@@ -237,6 +237,71 @@ TEST(Metrics, JsonExportIsDeterministicAndComplete) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(Metrics, MergeFromFoldsCountersGaugesHistograms) {
+  MetricsRegistry a, b;
+  a.counter("shared.count").inc(3);
+  b.counter("shared.count").inc(4);
+  b.counter("only_b.count").inc(7);
+  a.gauge("load").add(0.25);
+  b.gauge("load").add(0.5);
+  a.histogram("lat", 0.0, 10.0, 5).record(1.0);
+  b.histogram("lat", 0.0, 10.0, 5).record(9.0);
+  b.histogram("lat", 0.0, 10.0, 5).record(3.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("shared.count"), 7u);
+  EXPECT_EQ(a.counter_value("only_b.count"), 7u);
+  EXPECT_DOUBLE_EQ(a.find_gauge("load")->value(), 0.75);
+  LatencyHistogram& h = a.histogram("lat", 0.0, 10.0, 5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.0);
+  // b is untouched.
+  EXPECT_EQ(b.counter_value("shared.count"), 4u);
+}
+
+TEST(Metrics, MergeRejectsHistogramLayoutMismatch) {
+  MetricsRegistry a, b;
+  a.histogram("lat", 0.0, 10.0, 5).record(1.0);
+  b.histogram("lat", 0.0, 20.0, 5).record(1.0);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(Metrics, ShardedMergeJsonEqualsSingleRegistryJson) {
+  // The sharded-world telemetry contract: recording the same samples into
+  // k per-shard registries and merging them in ascending shard order must
+  // export byte-identical JSON to recording everything into one registry.
+  MetricsRegistry single;
+  MetricsRegistry shards[3];
+  auto record = [](MetricsRegistry& reg, int shard, int i) {
+    reg.counter("city.rx").inc(static_cast<std::uint64_t>(i + 1));
+    reg.gauge("load").add(0.125 * shard);
+    reg.histogram("verify_us", 0.0, 1000.0, 16)
+        .record(100.0 * shard + 10.0 * i);
+  };
+  for (int shard = 0; shard < 3; ++shard) {
+    for (int i = 0; i < 5; ++i) {
+      record(single, shard, i);
+      record(shards[shard], shard, i);
+    }
+  }
+  MetricsRegistry merged;
+  for (int shard = 0; shard < 3; ++shard) merged.merge_from(shards[shard]);
+  EXPECT_EQ(merged.to_json(), single.to_json());
+}
+
+TEST(Metrics, MergeFromEmptyAndIntoEmptyAreIdentities) {
+  MetricsRegistry empty, filled, target;
+  filled.counter("c").inc(2);
+  filled.histogram("h", 0.0, 1.0, 2).record(0.5);
+  const std::string before = filled.to_json();
+  filled.merge_from(empty);
+  EXPECT_EQ(filled.to_json(), before);
+  target.merge_from(filled);
+  EXPECT_EQ(target.to_json(), before);
+}
+
 // ---------------------------------------------------------------------------
 // Cross-substrate integration
 

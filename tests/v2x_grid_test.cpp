@@ -1,0 +1,195 @@
+// Tests for the uniform-grid spatial index and V2xMedium's grid-backed
+// neighbor discovery: query correctness against brute force, and the
+// bit-identity contract — grid-mode delivery (counts AND per-delivery RNG
+// draws) must exactly reproduce the linear scan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "v2x/grid.hpp"
+#include "v2x/net.hpp"
+
+namespace aseck::v2x {
+namespace {
+
+using sim::Scheduler;
+using util::SimTime;
+
+TEST(SpatialGrid, QueryMatchesBruteForceOnRandomPoints) {
+  util::Rng rng(99);
+  SpatialGrid grid(50.0);
+  struct Pt {
+    std::uint64_t id;
+    double x, y;
+  };
+  std::vector<Pt> pts;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Pt p{i, rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)};
+    pts.push_back(p);
+    grid.update(p.id, p.x, p.y);
+  }
+  std::vector<std::uint64_t> got, want;
+  for (int q = 0; q < 50; ++q) {
+    const double qx = rng.uniform_real(-100, 1100);
+    const double qy = rng.uniform_real(-100, 1100);
+    const double r = rng.uniform_real(0, 250);
+    grid.query(qx, qy, r, got);
+    want.clear();
+    for (const Pt& p : pts) {
+      const double dx = p.x - qx, dy = p.y - qy;
+      if (dx * dx + dy * dy <= r * r) want.push_back(p.id);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(SpatialGrid, UpdateMovesAcrossCellsAndRemoveDrops) {
+  SpatialGrid grid(10.0);
+  grid.update(1, 5, 5);
+  grid.update(2, 6, 5);
+  std::vector<std::uint64_t> out;
+  grid.query(5, 5, 3, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2}));
+
+  grid.update(1, 95, 95);  // crosses many cell boundaries
+  grid.query(5, 5, 3, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{2}));
+  grid.query(95, 95, 1, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1}));
+
+  grid.remove(2);
+  grid.remove(2);  // idempotent
+  grid.query(5, 5, 3, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.size(), 1u);
+
+  // In-cell moves keep the recorded position fresh.
+  grid.update(1, 96, 96);
+  grid.query(96, 96, 0.5, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(SpatialGrid, NegativeCoordinatesAndZeroRadius) {
+  SpatialGrid grid(25.0);
+  grid.update(7, -40.0, -3.0);
+  std::vector<std::uint64_t> out;
+  grid.query(-40.0, -3.0, 0.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{7}));
+  grid.query(-40.0, -3.0, -1.0, out);  // negative radius: empty, no throw
+  EXPECT_TRUE(out.empty());
+  EXPECT_THROW(SpatialGrid(0.0), std::invalid_argument);
+}
+
+// A positionable radio that counts receptions.
+class ProbeRadio : public V2xRadio {
+ public:
+  ProbeRadio(std::string name, Position pos)
+      : V2xRadio(std::move(name)), pos_(pos) {}
+  Position position() const override { return pos_; }
+  void on_spdu(const Spdu&, SimTime) override { ++received_; }
+  void move_to(Position p) { pos_ = p; }
+  std::uint64_t received() const { return received_; }
+
+ private:
+  Position pos_;
+  std::uint64_t received_ = 0;
+};
+
+struct Field {
+  Scheduler sched;
+  V2xMedium medium;
+  std::vector<std::unique_ptr<ProbeRadio>> radios;
+
+  explicit Field(double loss, std::uint64_t seed, std::size_t n, double side)
+      : medium(sched, 300.0, loss, seed) {
+    util::Rng place(4242);
+    for (std::size_t i = 0; i < n; ++i) {
+      radios.push_back(std::make_unique<ProbeRadio>(
+          "r" + std::to_string(i),
+          Position{place.uniform_real(0, side), place.uniform_real(0, side)}));
+      medium.attach(radios.back().get());
+    }
+  }
+
+  std::vector<std::uint64_t> run_broadcasts() {
+    // Every 10th radio broadcasts twice; deliveries are scheduled events.
+    for (std::size_t i = 0; i < radios.size(); i += 10) {
+      medium.broadcast(radios[i].get(), Spdu{});
+      medium.broadcast(radios[i].get(), Spdu{});
+    }
+    sched.run();
+    std::vector<std::uint64_t> counts;
+    for (auto& r : radios) counts.push_back(r->received());
+    return counts;
+  }
+};
+
+TEST(V2xMediumGrid, GridDeliveryBitIdenticalToLinearScan) {
+  // Same seed, same topology, loss_prob > 0: every per-delivery RNG draw
+  // must happen in the same order, so per-radio reception counts and
+  // medium totals match exactly between linear and grid modes.
+  Field linear(0.3, 11, 400, 2000.0);
+  Field grid(0.3, 11, 400, 2000.0);
+  grid.medium.enable_grid_index();
+  ASSERT_TRUE(grid.medium.grid_enabled());
+  ASSERT_FALSE(linear.medium.grid_enabled());
+
+  const auto counts_linear = linear.run_broadcasts();
+  const auto counts_grid = grid.run_broadcasts();
+  EXPECT_EQ(counts_grid, counts_linear);
+  EXPECT_EQ(grid.medium.transmitted(), linear.medium.transmitted());
+  EXPECT_EQ(grid.medium.delivered(), linear.medium.delivered());
+  EXPECT_EQ(grid.medium.lost(), linear.medium.lost());
+
+  // The whole point: the grid checks far fewer candidates.
+  EXPECT_LT(grid.medium.receivers_checked(), linear.medium.receivers_checked());
+  EXPECT_GT(grid.medium.receivers_checked(), 0u);
+}
+
+TEST(V2xMediumGrid, ReindexKeepsMovedRadiosExact) {
+  Field f(0.0, 5, 60, 800.0);
+  f.medium.enable_grid_index(0.0, /*slack_m=*/60.0);
+  // Drift everyone by less than the slack: still exact without reindex.
+  for (auto& r : f.radios) {
+    Position p = r->position();
+    r->move_to(Position{p.x + 40.0, p.y});
+  }
+  f.medium.reindex_grid();  // after reindex, recorded == actual again
+  Field ref(0.0, 5, 60, 800.0);
+  for (auto& r : ref.radios) {
+    Position p = r->position();
+    r->move_to(Position{p.x + 40.0, p.y});
+  }
+  EXPECT_EQ(f.run_broadcasts(), ref.run_broadcasts());
+  EXPECT_EQ(f.medium.delivered(), ref.medium.delivered());
+}
+
+TEST(V2xMediumGrid, DetachRemovesFromIndex) {
+  Field f(0.0, 3, 30, 500.0);
+  f.medium.enable_grid_index();
+  ProbeRadio* victim = f.radios[1].get();
+  f.medium.detach(victim);
+  f.medium.broadcast(f.radios[0].get(), Spdu{});
+  f.sched.run();
+  EXPECT_EQ(victim->received(), 0u);
+}
+
+TEST(V2xMediumGrid, MonitorsHearEverythingInGridMode) {
+  Field f(0.0, 3, 30, 500.0);
+  f.medium.enable_grid_index();
+  ProbeRadio sniffer("sniffer", Position{1e6, 1e6});  // far out of range
+  f.medium.attach_monitor(&sniffer);
+  f.medium.broadcast(f.radios[0].get(), Spdu{});
+  f.sched.run();
+  EXPECT_EQ(sniffer.received(), 1u);
+}
+
+}  // namespace
+}  // namespace aseck::v2x
