@@ -1,0 +1,150 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace aseck::fuzz {
+
+namespace {
+
+constexpr std::uint8_t kInteresting8[] = {0x00, 0x01, 0x7f, 0x80, 0xff, 0x10,
+                                          0x27, 0x40};
+constexpr std::uint16_t kInteresting16[] = {0x0000, 0x0001, 0x007f, 0x0080,
+                                            0x00ff, 0x0100, 0x7fff, 0x8000,
+                                            0xffff};
+constexpr std::uint32_t kInteresting32[] = {
+    0x00000000u, 0x00000001u, 0x0000007fu, 0x000000ffu, 0x0000ffffu,
+    0x7fffffffu, 0x80000000u, 0xfffffff3u,  // 13-byte-header wrap pivot (V11)
+    0xfffffffeu, 0xffffffffu};
+
+void write_window(util::Bytes& b, std::size_t pos, std::uint64_t v,
+                  std::size_t width, bool big_endian) {
+  for (std::size_t i = 0; i < width; ++i) {
+    const unsigned shift =
+        static_cast<unsigned>(8 * (big_endian ? width - 1 - i : i));
+    b[pos + i] = static_cast<std::uint8_t>(v >> shift);
+  }
+}
+
+std::uint64_t read_window(const util::Bytes& b, std::size_t pos,
+                          std::size_t width, bool big_endian) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const unsigned shift =
+        static_cast<unsigned>(8 * (big_endian ? width - 1 - i : i));
+    v |= static_cast<std::uint64_t>(b[pos + i]) << shift;
+  }
+  return v;
+}
+
+}  // namespace
+
+util::Bytes Mutator::mutate(util::BytesView base, util::Rng& rng) const {
+  util::Bytes b(base.begin(), base.end());
+  const std::size_t stack = 1 + rng.index(cfg_.max_stack);
+  for (std::size_t i = 0; i < stack; ++i) apply_one(b, rng);
+  if (b.size() > cfg_.max_len) b.resize(cfg_.max_len);
+  return b;
+}
+
+void Mutator::apply_one(util::Bytes& b, util::Rng& rng) const {
+  // An empty buffer supports only extension.
+  const std::size_t op = b.empty() ? 7 : rng.index(12);
+  switch (op) {
+    case 0: {  // single bit flip
+      const std::size_t bit = rng.index(b.size() * 8);
+      b[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case 1: {  // random byte overwrite
+      b[rng.index(b.size())] = static_cast<std::uint8_t>(rng.uniform(256));
+      break;
+    }
+    case 2: {  // interesting 8-bit value
+      b[rng.index(b.size())] =
+          kInteresting8[rng.index(std::size(kInteresting8))];
+      break;
+    }
+    case 3: {  // interesting 16-bit value, either endianness
+      if (b.size() < 2) break;
+      write_window(b, rng.index(b.size() - 1),
+                   kInteresting16[rng.index(std::size(kInteresting16))], 2,
+                   rng.chance(0.5));
+      break;
+    }
+    case 4: {  // interesting 32-bit value, either endianness
+      if (b.size() < 4) break;
+      write_window(b, rng.index(b.size() - 3),
+                   kInteresting32[rng.index(std::size(kInteresting32))], 4,
+                   rng.chance(0.5));
+      break;
+    }
+    case 5: {  // arithmetic delta on a 1/2/4-byte window
+      const std::size_t width = std::size_t{1} << rng.index(3);
+      if (b.size() < width) break;
+      const std::size_t pos = rng.index(b.size() - width + 1);
+      const bool be = rng.chance(0.5);
+      const std::uint64_t delta = 1 + rng.uniform(35);
+      std::uint64_t v = read_window(b, pos, width, be);
+      v = rng.chance(0.5) ? v + delta : v - delta;
+      write_window(b, pos, v, width, be);
+      break;
+    }
+    case 6: {  // truncate
+      b.resize(rng.index(b.size()));
+      break;
+    }
+    case 7: {  // extend with random bytes
+      const std::size_t n = 1 + rng.index(16);
+      for (std::size_t i = 0; i < n; ++i) {
+        b.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+      }
+      break;
+    }
+    case 8: {  // duplicate an internal chunk (length-confusion food)
+      const std::size_t len = 1 + rng.index(std::min<std::size_t>(b.size(), 16));
+      const std::size_t src = rng.index(b.size() - len + 1);
+      const std::size_t dst = rng.index(b.size() + 1);
+      const util::Bytes chunk(b.begin() + static_cast<std::ptrdiff_t>(src),
+                              b.begin() + static_cast<std::ptrdiff_t>(src + len));
+      b.insert(b.begin() + static_cast<std::ptrdiff_t>(dst), chunk.begin(),
+               chunk.end());
+      break;
+    }
+    case 9: {  // dictionary token: insert
+      if (dict_.empty()) break;
+      const util::Bytes& tok = dict_[rng.index(dict_.size())];
+      const std::size_t dst = rng.index(b.size() + 1);
+      b.insert(b.begin() + static_cast<std::ptrdiff_t>(dst), tok.begin(),
+               tok.end());
+      break;
+    }
+    case 10: {  // dictionary token: overwrite
+      if (dict_.empty()) break;
+      const util::Bytes& tok = dict_[rng.index(dict_.size())];
+      if (tok.empty() || b.size() < tok.size()) break;
+      const std::size_t dst = rng.index(b.size() - tok.size() + 1);
+      std::copy(tok.begin(), tok.end(),
+                b.begin() + static_cast<std::ptrdiff_t>(dst));
+      break;
+    }
+    case 11: {  // length-field skew: write a near-buffer-length value
+      const std::size_t width = std::size_t{1} << rng.index(3);
+      if (b.size() < width) break;
+      const std::size_t pos = rng.index(b.size() - width + 1);
+      std::uint64_t v = b.size();
+      switch (rng.index(4)) {
+        case 0: v += 1 + rng.uniform(8); break;        // declared > actual
+        case 1: v -= std::min<std::uint64_t>(v, 1 + rng.uniform(8)); break;
+        case 2: v = ~std::uint64_t{0} - rng.uniform(16); break;  // wrap pivot
+        default: break;                                // exactly the length
+      }
+      write_window(b, pos, v, width, rng.chance(0.5));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace aseck::fuzz

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/bytes.hpp"
+#include "util/coverage.hpp"
 #include "util/crc.hpp"
 
 namespace aseck::ivn {
@@ -14,6 +16,93 @@ std::size_t CanFrame::fd_round_up(std::size_t n) {
     if (n <= s) return s;
   }
   return 64;
+}
+
+namespace {
+constexpr std::size_t kFdDlcSizes[16] = {0, 1,  2,  3,  4,  5,  6,  7,
+                                         8, 12, 16, 20, 24, 32, 48, 64};
+}  // namespace
+
+util::Bytes CanFrame::encode_wire() const {
+  util::Bytes out;
+  out.reserve(6 + data.size());
+  std::uint8_t flags = 0;
+  if (extended) flags |= 0x01;
+  if (remote) flags |= 0x02;
+  if (format == CanFormat::kFd) flags |= 0x04;
+  if (brs) flags |= 0x08;
+  out.push_back(flags);
+  util::append_be(out, id, 4);
+  std::uint8_t dlc = 0;
+  if (format == CanFormat::kClassic) {
+    dlc = static_cast<std::uint8_t>(data.size());
+  } else {
+    for (std::uint8_t i = 0; i < 16; ++i) {
+      if (kFdDlcSizes[i] == data.size()) {
+        dlc = i;
+        break;
+      }
+    }
+  }
+  out.push_back(dlc);
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::optional<CanFrame> CanFrame::decode_wire(util::BytesView b) {
+  if (b.size() < 6) {
+    ASECK_COV("can.decode.too_short");
+    return std::nullopt;
+  }
+  const std::uint8_t flags = b[0];
+  if ((flags & ~0x0Fu) != 0) {
+    ASECK_COV("can.decode.bad_flags");
+    return std::nullopt;
+  }
+  CanFrame f;
+  f.extended = (flags & 0x01) != 0;
+  f.remote = (flags & 0x02) != 0;
+  f.format = (flags & 0x04) != 0 ? CanFormat::kFd : CanFormat::kClassic;
+  f.brs = (flags & 0x08) != 0;
+  f.id = util::load_be32(b.data() + 1);
+  if (f.id > (f.extended ? 0x1fffffffu : 0x7ffu)) {
+    ASECK_COV("can.decode.bad_id");
+    return std::nullopt;
+  }
+  const std::uint8_t dlc = b[5];
+  std::size_t len;
+  if (f.format == CanFormat::kClassic) {
+    // The V10 class: a lenient decoder treats dlc 9..15 as "read 9..15
+    // bytes" from an 8-byte buffer. Strictly reject instead.
+    if (dlc > 8) {
+      ASECK_COV("can.decode.dlc_overflow");
+      return std::nullopt;
+    }
+    if (f.brs) {
+      ASECK_COV("can.decode.brs_classic");
+      return std::nullopt;
+    }
+    len = dlc;
+  } else {
+    if (dlc > 15 || f.remote) {
+      ASECK_COV("can.decode.bad_fd");
+      return std::nullopt;
+    }
+    len = kFdDlcSizes[dlc];
+  }
+  if (f.remote && len != 0) {
+    ASECK_COV("can.decode.remote_data");
+    return std::nullopt;
+  }
+  // The payload must be exactly the DLC-declared length: no trailing bytes,
+  // no short reads silently zero-extended.
+  if (b.size() - 6 != len) {
+    ASECK_COV("can.decode.len_mismatch");
+    return std::nullopt;
+  }
+  f.data.assign(b.begin() + 6, b.end());
+  ASECK_COV("can.decode.ok");
+  return f;
 }
 
 bool CanFrame::valid() const {
@@ -134,6 +223,7 @@ void CanBus::wire_telemetry() {
   rewire(c_busy_ns_, "busy_ns");
   rewire(c_frames_dropped_fault_, "frames_dropped_fault");
   rewire(c_frames_duplicated_, "frames_duplicated");
+  rewire(c_frames_malformed_, "frames_malformed");
   k_tx_ = trace_.kind("tx");
   k_tx_start_ = trace_.kind("tx_start");
   k_tx_error_ = trace_.kind("tx_error");
@@ -142,6 +232,7 @@ void CanBus::wire_telemetry() {
   k_recover_ = trace_.kind("recover");
   k_fault_drop_ = trace_.kind("fault_drop");
   k_fault_dup_ = trace_.kind("fault_dup");
+  k_fault_malformed_ = trace_.kind("fault_malformed");
 }
 
 void CanBus::bind_telemetry(const sim::Telemetry& t) {
@@ -236,7 +327,25 @@ void CanBus::try_start_tx() {
     return;
   }
   busy_ = true;
-  const CanFrame frame = winner->tx_queue_.front();
+  CanFrame frame = winner->tx_queue_.front();
+  // Injected malformed frame: the payload is replaced by an attack-corpus
+  // entry (clamped to a legal length for the format, so the frame still
+  // serializes). Unlike corrupt, the frame is *delivered* — this is how
+  // chaos campaigns feed fuzzer-found parser inputs to live receivers.
+  if (fault_port_) {
+    if (const util::Bytes* payload = fault_port_->roll_malformed()) {
+      const std::size_t cap = frame.format == CanFormat::kFd ? 64 : 8;
+      frame.remote = false;
+      frame.data.assign(payload->begin(),
+                        payload->begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(payload->size(), cap)));
+      if (frame.format == CanFormat::kFd) {
+        frame.data.resize(CanFrame::fd_round_up(frame.data.size()), 0);
+      }
+      c_frames_malformed_->inc();
+      ASECK_TRACE(trace_, sched_.now(), k_fault_malformed_, winner->name());
+    }
+  }
   const SimTime duration = frame_time(frame);
   const bool errored = (error_injector_ && error_injector_(frame, *winner)) ||
                        (fault_port_ && fault_port_->roll_corrupt());

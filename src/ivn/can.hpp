@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,16 @@ struct CanFrame {
   static std::size_t fd_round_up(std::size_t n);
   /// True iff id/data lengths are legal for the format.
   bool valid() const;
+
+  /// Compact wire encoding used by the attack corpus and the fuzzer:
+  /// flags(1: bit0=extended, bit1=remote, bit2=FD, bit3=BRS) || id(4 BE) ||
+  /// dlc(1, raw DLC code) || data. `decode_wire` validates strictly — DLC
+  /// codes above the format's limit, payload length mismatching the DLC,
+  /// out-of-range ids, and illegal flag combinations are rejected (the V10
+  /// "DLC overflow" class: a lenient decoder reading dlc=15 bytes from an
+  /// 8-byte classic frame). A decoded frame always satisfies `valid()`.
+  util::Bytes encode_wire() const;
+  static std::optional<CanFrame> decode_wire(util::BytesView b);
   /// Serialized bits from SOF through CRC (stuffing region), for timing.
   std::vector<bool> stuff_region_bits() const;
   /// Total on-wire bit count including stuff bits, delimiters, ACK, EOF, IFS.
@@ -139,8 +150,8 @@ class CanBus {
   }
 
   /// Attaches a fault-injection port (sim::FaultPlan). Per-frame drop,
-  /// corrupt, delay, and duplicate faults plus whole-bus down windows are
-  /// consulted on the TX path. nullptr detaches.
+  /// corrupt, delay, duplicate, and malformed-splice faults plus whole-bus
+  /// down windows are consulted on the TX path. nullptr detaches.
   void set_fault_port(sim::FaultPort* port) { fault_port_ = port; }
 
   /// Time to serialize `frame` on this bus.
@@ -176,9 +187,10 @@ class CanBus {
   sim::Counter* c_busy_ns_ = nullptr;
   sim::Counter* c_frames_dropped_fault_ = nullptr;
   sim::Counter* c_frames_duplicated_ = nullptr;
+  sim::Counter* c_frames_malformed_ = nullptr;
   sim::TraceId k_tx_ = 0, k_tx_start_ = 0, k_tx_error_ = 0,
                k_tx_error_start_ = 0, k_bus_off_ = 0, k_recover_ = 0,
-               k_fault_drop_ = 0, k_fault_dup_ = 0;
+               k_fault_drop_ = 0, k_fault_dup_ = 0, k_fault_malformed_ = 0;
   ErrorInjector error_injector_;
   sim::FaultPort* fault_port_ = nullptr;
   SimTime auto_recovery_ = SimTime::zero();

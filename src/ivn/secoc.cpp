@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/coverage.hpp"
+
 namespace aseck::ivn {
 
 std::uint64_t FreshnessManager::next_tx(std::uint16_t data_id) {
@@ -60,7 +62,10 @@ SecOcChannel::VerifyResult SecOcChannel::verify(std::uint16_t data_id,
                                                 util::BytesView secured,
                                                 FreshnessManager& fm) const {
   const std::size_t overhead_len = overhead();
-  if (secured.size() < overhead_len) return {SecOcStatus::kTooShort, {}};
+  if (secured.size() < overhead_len) {
+    ASECK_COV("secoc.verify.too_short");
+    return {SecOcStatus::kTooShort, {}};
+  }
   const std::size_t payload_len = secured.size() - overhead_len;
   const util::BytesView payload = secured.subspan(0, payload_len);
   const util::BytesView fresh_trunc =
@@ -83,12 +88,16 @@ SecOcChannel::VerifyResult SecOcChannel::verify(std::uint16_t data_id,
         (bits >= 64) ? 0 : (std::uint64_t{1} << bits);
     if (modulus == 0) {
       candidate = trunc;  // full freshness transmitted
-      if (candidate <= last) return {SecOcStatus::kFreshnessReplay, {}};
+      if (candidate <= last) {
+        ASECK_COV("secoc.verify.replay_full");
+        return {SecOcStatus::kFreshnessReplay, {}};
+      }
     } else {
       const std::uint64_t base = last & ~(modulus - 1);
       candidate = base | trunc;
       if (candidate <= last) candidate += modulus;
       if (candidate - last > cfg_.freshness_window) {
+        ASECK_COV("secoc.verify.out_of_window");
         return {SecOcStatus::kFreshnessOutOfWindow, {}};
       }
     }
@@ -101,13 +110,16 @@ SecOcChannel::VerifyResult SecOcChannel::verify(std::uint16_t data_id,
       for (std::uint64_t f = candidate + 1; f <= last + cfg_.freshness_window;
            ++f) {
         if (cmac_.verify(mac_input(data_id, payload, f), mac)) {
+          ASECK_COV("secoc.verify.ok_implicit");
           fm.accept_rx(data_id, f);
           return {SecOcStatus::kOk, util::Bytes(payload.begin(), payload.end())};
         }
       }
     }
+    ASECK_COV("secoc.verify.mac_mismatch");
     return {SecOcStatus::kMacMismatch, {}};
   }
+  ASECK_COV("secoc.verify.ok");
   fm.accept_rx(data_id, candidate);
   return {SecOcStatus::kOk, util::Bytes(payload.begin(), payload.end())};
 }

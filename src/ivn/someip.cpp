@@ -1,5 +1,7 @@
 #include "ivn/someip.hpp"
 
+#include "util/coverage.hpp"
+
 namespace aseck::ivn {
 
 namespace {
@@ -30,15 +32,36 @@ util::Bytes SomeIpMessage::serialize() const {
 }
 
 std::optional<SomeIpMessage> SomeIpMessage::parse(util::BytesView b) {
-  if (b.size() < 13) return std::nullopt;
+  if (b.size() < 13) {
+    ASECK_COV("someip.parse.too_short");
+    return std::nullopt;
+  }
   SomeIpMessage m;
   m.service = static_cast<ServiceId>(util::load_be32(b.data()) >> 16);
   m.method = static_cast<MethodId>(util::load_be32(b.data()) & 0xffff);
   m.client = static_cast<ClientId>(util::load_be32(b.data() + 4) >> 16);
   m.session = static_cast<std::uint16_t>(util::load_be32(b.data() + 4) & 0xffff);
   m.type = static_cast<Type>(b[8]);
+  switch (m.type) {
+    case Type::kRequest:
+    case Type::kResponse:
+    case Type::kError:
+    case Type::kNotification:
+      break;
+    default:
+      ASECK_COV("someip.parse.bad_type");
+      return std::nullopt;
+  }
   const std::uint32_t len = util::load_be32(b.data() + 9);
-  if (b.size() < 13 + len) return std::nullopt;
+  // Bounds-check the declared length against the remaining bytes in 64-bit
+  // arithmetic: the former `b.size() < 13 + len` compared against a uint32
+  // sum, so a length near 2^32 wrapped to a small value and the assign below
+  // read far out of bounds (the V11-class integer overflow).
+  if (len > b.size() - 13) {
+    ASECK_COV("someip.parse.len_overrun");
+    return std::nullopt;
+  }
+  ASECK_COV("someip.parse.ok");
   m.payload.assign(b.begin() + 13, b.begin() + 13 + len);
   return m;
 }

@@ -43,6 +43,8 @@ enum class UdsSession : std::uint8_t {
 enum class UdsNrc : std::uint8_t {
   kNone = 0x00,
   kServiceNotSupported = 0x11,
+  kSubFunctionNotSupported = 0x12,
+  kIncorrectLength = 0x13,  // incorrectMessageLengthOrInvalidFormat
   kConditionsNotCorrect = 0x22,
   kRequestOutOfRange = 0x31,
   kSecurityAccessDenied = 0x33,
@@ -76,6 +78,20 @@ class UdsServer {
     std::size_t seed_bytes = 4;
   };
   UdsServer(Config cfg, std::uint64_t seed);
+
+  /// Largest download accepted by RequestDownload (memorySize bound).
+  static constexpr std::uint64_t kMaxDownloadBytes = 1u << 20;  // 1 MiB
+  /// Largest value accepted by WriteDataByIdentifier.
+  static constexpr std::size_t kMaxWriteBytes = 4095;
+
+  /// Byte-level request decoding — what actually arrives in diagnostic
+  /// frames on the wire: [SID, subfunction/params...]. Returns the raw
+  /// response: positive = [SID+0x40, data...], negative = [0x7F, SID, NRC].
+  /// Malformed requests (truncated subfunctions, wrong field lengths,
+  /// oversized address/length descriptors) are rejected with NRC 0x13
+  /// (incorrectMessageLengthOrInvalidFormat) instead of being silently
+  /// clamped — the V9/V11 parser classes the E20 fuzzer exercises.
+  util::Bytes handle_request(util::BytesView request, double now_s);
 
   // Services. `now_s` is simulated time in seconds (for lockout handling).
   UdsResponse session_control(UdsSession target, double now_s);

@@ -41,10 +41,19 @@ struct TargetInfo {
   std::string hardware_id;  // which ECU class may install this
 
   util::Bytes serialize() const;
+  /// Parses a TargetInfo occupying the whole of `b` (strict: trailing bytes
+  /// reject). Every serialized value round-trips: parse(serialize(x)) == x.
+  static std::optional<TargetInfo> parse(util::BytesView b);
   friend bool operator==(const TargetInfo&, const TargetInfo&) = default;
 };
 
 /// Role bodies ---------------------------------------------------------------
+
+// Each role body serializes to a tagged, length-explicit byte string and
+// parses back strictly: unknown tags, truncated fields, counts that overrun
+// the buffer, and trailing bytes all reject (std::nullopt) — there is no
+// silent clamping anywhere, so `parse(serialize(x)) == x` and
+// `serialize(*parse(b)) == b` are the E20 fuzzer's round-trip oracles.
 
 struct RootMeta {
   std::uint32_t version = 1;
@@ -53,11 +62,14 @@ struct RootMeta {
   struct RoleKeys {
     std::uint32_t threshold = 1;
     std::vector<KeyId> key_ids;
+    friend bool operator==(const RoleKeys&, const RoleKeys&) = default;
   };
   std::map<Role, RoleKeys> roles;
   std::map<std::string, crypto::EcdsaPublicKey> keys;  // keyid hex -> key
 
   util::Bytes serialize() const;
+  static std::optional<RootMeta> parse(util::BytesView b);
+  friend bool operator==(const RootMeta&, const RootMeta&) = default;
 };
 
 struct TargetsMeta {
@@ -66,6 +78,8 @@ struct TargetsMeta {
   std::map<std::string, TargetInfo> targets;  // image name -> info
 
   util::Bytes serialize() const;
+  static std::optional<TargetsMeta> parse(util::BytesView b);
+  friend bool operator==(const TargetsMeta&, const TargetsMeta&) = default;
 };
 
 struct SnapshotMeta {
@@ -74,6 +88,8 @@ struct SnapshotMeta {
   std::uint32_t targets_version = 0;
 
   util::Bytes serialize() const;
+  static std::optional<SnapshotMeta> parse(util::BytesView b);
+  friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
 };
 
 struct TimestampMeta {
@@ -83,6 +99,8 @@ struct TimestampMeta {
   util::Bytes snapshot_hash;  // SHA-256 of serialized snapshot
 
   util::Bytes serialize() const;
+  static std::optional<TimestampMeta> parse(util::BytesView b);
+  friend bool operator==(const TimestampMeta&, const TimestampMeta&) = default;
 };
 
 /// A detached signature.

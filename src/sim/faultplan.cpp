@@ -16,6 +16,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kRadioLoss: return "radio_loss";
     case FaultKind::kOutage: return "outage";
     case FaultKind::kPowerLoss: return "power_loss";
+    case FaultKind::kMalformedFrame: return "malformed_frame";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ bool fault_kind_auto_recovers(FaultKind k) {
     case FaultKind::kFrameDelay:
     case FaultKind::kFrameDuplicate:
     case FaultKind::kRadioLoss:
+    case FaultKind::kMalformedFrame:
       return true;
     case FaultKind::kCrash:
     case FaultKind::kPartition:
@@ -111,6 +113,14 @@ void FaultPlan::apply(const FaultSpec& spec, bool begin) {
         p.write_ops_ = 0;
       } else {
         p.power_cut_at_ = -1;
+      }
+      break;
+    case FaultKind::kMalformedFrame:
+      bump(p.malformed_p_);
+      if (begin) {
+        p.malformed_ = spec.payload;
+      } else if (p.malformed_p_ <= 0) {
+        p.malformed_.clear();
       }
       break;
   }

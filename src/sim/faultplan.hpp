@@ -36,6 +36,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace aseck::sim {
@@ -50,6 +51,7 @@ enum class FaultKind {
   kRadioLoss,       // V2X radio loss burst
   kOutage,          // service unavailability (OTA repository)
   kPowerLoss,       // power cut during a flash write (install / commit marker)
+  kMalformedFrame,  // frame payload replaced by an attack-corpus entry
 };
 const char* fault_kind_name(FaultKind k);
 
@@ -70,6 +72,10 @@ struct FaultSpec {
   /// "Poisson-per-page" mode. Exact-index cuts fire regardless of
   /// `probability` (set probability = 0 for a purely scripted cut).
   std::int64_t page_index = -1;
+  /// kMalformedFrame only: the raw bytes spliced into affected frames.
+  /// Chaos campaigns point this at a frozen `attacks::ScenarioCorpus` entry
+  /// so fuzzer-found malformed inputs ride live traffic windows.
+  util::Bytes payload{};
 };
 
 /// Live per-target fault state, consulted by a substrate on its hot path.
@@ -85,6 +91,13 @@ class FaultPort {
   util::SimTime roll_delay() {
     return (delay_p_ > 0 && rng_->chance(delay_p_)) ? delay_
                                                     : util::SimTime::zero();
+  }
+  /// Non-null when a kMalformedFrame window is active and the roll hits:
+  /// the substrate should replace the outgoing frame's payload with these
+  /// bytes (clamped to whatever lengths its wire format allows).
+  const util::Bytes* roll_malformed() {
+    return (malformed_p_ > 0 && rng_->chance(malformed_p_)) ? &malformed_
+                                                            : nullptr;
   }
   /// Inside a kCrash/kPartition/kRadioLoss/kOutage window.
   bool down() const { return down_ > 0; }
@@ -104,13 +117,16 @@ class FaultPort {
   /// Any fault currently armed on this port.
   bool active() const {
     return down_ > 0 || drop_p_ > 0 || corrupt_p_ > 0 || dup_p_ > 0 ||
-           delay_p_ > 0 || power_loss_p_ > 0 || power_cut_at_ >= 0;
+           delay_p_ > 0 || power_loss_p_ > 0 || power_cut_at_ >= 0 ||
+           malformed_p_ > 0;
   }
 
  private:
   friend class FaultPlan;
   explicit FaultPort(util::Rng& rng) : rng_(&rng) {}
   double drop_p_ = 0, corrupt_p_ = 0, dup_p_ = 0, delay_p_ = 0;
+  double malformed_p_ = 0;
+  util::Bytes malformed_;
   double power_loss_p_ = 0;
   std::int64_t power_cut_at_ = -1;  // exact write-op index; -1 = disabled
   std::uint64_t write_ops_ = 0;    // write ops seen in the current window

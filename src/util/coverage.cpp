@@ -1,0 +1,21 @@
+#include "util/coverage.hpp"
+
+namespace aseck::util::cov {
+
+namespace {
+thread_local Sink* g_sink = nullptr;
+}  // namespace
+
+Sink* install(Sink* s) {
+  Sink* prev = g_sink;
+  g_sink = s;
+  return prev;
+}
+
+Sink* current() { return g_sink; }
+
+void hit(std::uint64_t site) {
+  if (g_sink != nullptr) g_sink->on_site(site);
+}
+
+}  // namespace aseck::util::cov

@@ -1,0 +1,71 @@
+#pragma once
+// Lightweight branch-coverage instrumentation for the protocol fuzzer
+// (src/fuzz) — no compiler plugin, no global ctors, zero cost when no sink
+// is installed.
+//
+// Target parsers mark interesting decision points with
+//
+//     ASECK_COV("someip.parse.len_ok");
+//
+// The site name is FNV-1a-hashed at compile time, so the hot path is a
+// thread-local pointer load, a branch, and (with a sink installed) one
+// virtual call. The fuzzer's CoverageMap sink (src/fuzz/fuzzer.hpp) folds
+// consecutive site hits into *edge* ids — hash(prev_site, site) — giving
+// AFL-style edge coverage over the hand-placed sites.
+//
+// The sink pointer is thread-local: shard worker threads (sim/sharded) never
+// see a sink installed by a fuzzing thread, and parallel campaigns cannot
+// cross-contaminate coverage.
+
+#include <cstdint>
+
+namespace aseck::util::cov {
+
+/// Compile-time FNV-1a 64-bit hash of a site name.
+constexpr std::uint64_t site_id(const char* s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  while (*s != '\0') {
+    h ^= static_cast<std::uint8_t>(*s++);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Receives site hits while installed on the current thread.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_site(std::uint64_t site) = 0;
+};
+
+/// Installs `s` as this thread's sink (nullptr uninstalls). Returns the
+/// previously installed sink so scopes can nest.
+Sink* install(Sink* s);
+/// This thread's current sink (nullptr when none).
+Sink* current();
+
+/// Hot-path hit: no-op unless a sink is installed on this thread.
+void hit(std::uint64_t site);
+
+/// RAII install/uninstall for one fuzz execution.
+class ScopedSink {
+ public:
+  explicit ScopedSink(Sink* s) : prev_(install(s)) {}
+  ~ScopedSink() { install(prev_); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Sink* prev_;
+};
+
+}  // namespace aseck::util::cov
+
+/// Marks a coverage site. The hash is computed at compile time; the name
+/// should be globally unique ("<module>.<function>.<branch>").
+#define ASECK_COV(name)                                                \
+  do {                                                                 \
+    constexpr std::uint64_t aseck_cov_site_ =                          \
+        ::aseck::util::cov::site_id(name);                             \
+    ::aseck::util::cov::hit(aseck_cov_site_);                          \
+  } while (0)
