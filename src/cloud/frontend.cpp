@@ -1,0 +1,87 @@
+#include "cloud/frontend.hpp"
+
+#include "sim/trace.hpp"
+
+namespace aseck::cloud {
+
+SessionFrontend::SessionFrontend(ServerCredential cred,
+                                 crypto::EcdsaPrivateKey identity,
+                                 crypto::EcdsaPublicKey authority,
+                                 crypto::Drbg& rng, FrontendConfig cfg)
+    : cfg_(cfg),
+      server_(std::move(cred), std::move(identity), rng),
+      authority_(std::move(authority)),
+      rng_(rng),
+      tickets_(cfg.ticket_cache_entries),
+      trace_("cloud.front"),
+      metrics_(std::make_shared<sim::MetricsRegistry>()) {
+  wire_telemetry();
+}
+
+SessionFrontend SessionFrontend::create(const std::string& name,
+                                        const crypto::EcdsaPrivateKey& authority,
+                                        crypto::Drbg& rng, FrontendConfig cfg) {
+  crypto::EcdsaPrivateKey identity = crypto::EcdsaPrivateKey::generate(rng);
+  ServerCredential cred =
+      ServerCredential::issue(name, identity.public_key(), authority);
+  return SessionFrontend(std::move(cred), std::move(identity),
+                         authority.public_key(), rng, cfg);
+}
+
+void SessionFrontend::wire_telemetry() {
+  const auto rewire = [this](sim::Counter*& c, const char* key) {
+    sim::Counter& nc = metrics_->counter(std::string("cloud.front.") + key);
+    if (c && c != &nc) nc.inc(c->value());  // carry accumulated value across
+    c = &nc;
+  };
+  rewire(c_handshakes_, "handshakes");
+  rewire(c_resumed_, "resumed");
+  rewire(c_failures_, "failures");
+  k_handshake_ = trace_.kind("handshake");
+  k_resume_ = trace_.kind("resume");
+  k_fail_ = trace_.kind("handshake_fail");
+}
+
+void SessionFrontend::bind_telemetry(const sim::Telemetry& t) {
+  trace_.bind(t.bus);
+  const auto old = metrics_;  // keep old counters alive across the rewire
+  metrics_ = t.metrics;
+  wire_telemetry();
+}
+
+ConnectResult SessionFrontend::connect(const std::string& vehicle_id,
+                                       util::SimTime now) {
+  ConnectResult r;
+  if (Ticket* t = tickets_.find(vehicle_id); t && now < t->expires) {
+    r.ok = true;
+    r.resumed = true;
+    r.latency = cfg_.resume_latency;
+    r.ticket_id = t->id;
+    ASECK_TRACE(trace_, now, k_resume_, vehicle_id);
+    c_resumed_->inc();
+    return r;
+  }
+  // No (valid) ticket: run the real one-round-trip handshake. The client
+  // side pins the authority key exactly as a vehicle would.
+  ChannelClient client(authority_, rng_);
+  const ClientHello ch = client.hello();
+  const ServerHello sh = server_.respond(ch);
+  if (client.finish(sh) != ChannelClient::Result::kOk) {
+    c_failures_->inc();
+    ASECK_TRACE(trace_, now, k_fail_, vehicle_id);
+    return r;  // !ok
+  }
+  Ticket t;
+  t.id = next_ticket_++;
+  t.expires = now + cfg_.ticket_lifetime;
+  r.ok = true;
+  r.latency = cfg_.full_handshake_latency;
+  r.ticket_id = t.id;
+  tickets_.put(vehicle_id, t);
+  c_handshakes_->inc();
+  ASECK_TRACE(trace_, now, k_handshake_,
+              vehicle_id + " ticket=" + std::to_string(t.id));
+  return r;
+}
+
+}  // namespace aseck::cloud

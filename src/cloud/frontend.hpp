@@ -1,0 +1,93 @@
+#pragma once
+// Storm-facing session layer in front of the OTA backend: terminates the
+// vehicle <-> cloud secure channel (cloud::ChannelServer, real ECDSA/ECDH
+// crypto) and amortizes it with an LRU session-ticket cache. A campaign wave
+// of N vehicles costs N full handshakes exactly once; every re-poll, retry,
+// and server-directed re-admission within the ticket lifetime resumes the
+// session for a fraction of the latency — which is what keeps the connection
+// layer out of the way when admission control is deliberately bouncing a
+// herd of clients (E21).
+//
+// Deliberately knows nothing about Uptane or the serving front: benches and
+// examples compose SessionFrontend + ota::RepositoryServer at the call site,
+// so the cloud module's dependency surface stays crypto-only.
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/secure_channel.hpp"
+#include "sim/telemetry.hpp"
+#include "util/lru.hpp"
+
+namespace aseck::cloud {
+
+struct FrontendConfig {
+  std::size_t ticket_cache_entries = 1024;
+  util::SimTime ticket_lifetime = util::SimTime::from_s(3600);
+  /// Modeled wall time of a full handshake vs a ticket resumption (the
+  /// asymmetric crypto actually runs either way the full path is taken; the
+  /// latency constants are what the sim schedules against).
+  util::SimTime full_handshake_latency = util::SimTime::from_ms(12);
+  util::SimTime resume_latency = util::SimTime::from_ms(1);
+};
+
+struct ConnectResult {
+  bool ok = false;
+  bool resumed = false;
+  util::SimTime latency = util::SimTime::zero();
+  std::uint64_t ticket_id = 0;
+};
+
+class SessionFrontend {
+ public:
+  SessionFrontend(ServerCredential cred, crypto::EcdsaPrivateKey identity,
+                  crypto::EcdsaPublicKey authority, crypto::Drbg& rng,
+                  FrontendConfig cfg = {});
+
+  /// Generates a server identity, has `authority` certify it, and pins the
+  /// matching authority key client-side — the one-call setup used by tests
+  /// and benches.
+  static SessionFrontend create(const std::string& name,
+                                const crypto::EcdsaPrivateKey& authority,
+                                crypto::Drbg& rng, FrontendConfig cfg = {});
+
+  /// Establishes (or resumes) a session for `vehicle_id`. A cache hit with
+  /// an unexpired ticket resumes cheaply; otherwise the real one-round-trip
+  /// handshake runs and a fresh ticket is cached.
+  ConnectResult connect(const std::string& vehicle_id, util::SimTime now);
+
+  std::uint64_t handshakes() const { return c_handshakes_->value(); }
+  std::uint64_t resumptions() const { return c_resumed_->value(); }
+  std::uint64_t failures() const { return c_failures_->value(); }
+  double resumption_rate() const {
+    const std::uint64_t h = handshakes(), r = resumptions();
+    return h + r == 0 ? 0.0
+                      : static_cast<double>(r) / static_cast<double>(h + r);
+  }
+
+  sim::TraceScope& trace() { return trace_; }
+  void bind_telemetry(const sim::Telemetry& t);
+
+ private:
+  struct Ticket {
+    std::uint64_t id = 0;
+    util::SimTime expires = util::SimTime::zero();
+  };
+  void wire_telemetry();
+
+  FrontendConfig cfg_;
+  ChannelServer server_;
+  crypto::EcdsaPublicKey authority_;
+  crypto::Drbg& rng_;
+  util::LruCache<std::string, Ticket> tickets_;
+  std::uint64_t next_ticket_ = 1;
+
+  sim::TraceScope trace_;
+  std::shared_ptr<sim::MetricsRegistry> metrics_;
+  sim::Counter* c_handshakes_ = nullptr;
+  sim::Counter* c_resumed_ = nullptr;
+  sim::Counter* c_failures_ = nullptr;
+  sim::TraceId k_handshake_ = 0, k_resume_ = 0, k_fail_ = 0;
+};
+
+}  // namespace aseck::cloud

@@ -106,6 +106,25 @@ void CampaignRunner::start(std::function<void()> done) {
   start_wave(0);
 }
 
+void CampaignRunner::gate_wave(std::size_t wave, int polls) {
+  RepositoryServer* srv = cfg_.retry.server;
+  if (srv && cfg_.pause_shed_ratio > 0) {
+    srv->observe(sched_.now());  // roll the window even while traffic paused
+    const bool paused = polls > 0;
+    const double threshold =
+        paused ? cfg_.resume_shed_ratio : cfg_.pause_shed_ratio;
+    if (srv->last_window_shed_ratio() > threshold &&
+        polls < cfg_.max_backpressure_polls) {
+      if (!paused) ++backpressure_pauses_;
+      sched_.schedule_after(cfg_.backpressure_poll, [this, wave, polls] {
+        gate_wave(wave, polls + 1);
+      });
+      return;
+    }
+  }
+  start_wave(wave);
+}
+
 void CampaignRunner::start_wave(std::size_t wave) {
   current_wave_ = wave;
   ++waves_dispatched_;
@@ -264,7 +283,7 @@ void CampaignRunner::finish_wave(std::size_t wave) {
     return;
   }
   sched_.schedule_after(cfg_.wave_gap,
-                        [this, wave] { start_wave(wave + 1); });
+                        [this, wave] { gate_wave(wave + 1, 0); });
 }
 
 std::size_t CampaignRunner::count(VehicleOutcome o) const {
@@ -291,10 +310,11 @@ std::string CampaignRunner::to_json() const {
                 "{\"image\":\"%s\",\"fleet\":%zu,\"waves\":%zu,"
                 "\"aborted\":%s,\"updated\":%zu,\"bricked\":%zu,"
                 "\"completion_rate\":%.4f,\"resume_bytes_saved\":%zu,"
-                "\"vehicles\":[",
+                "\"backpressure_pauses\":%llu,\"vehicles\":[",
                 image_name_.c_str(), ledger_.size(), waves_dispatched_,
                 aborted_ ? "true" : "false", updated(), bricked(),
-                completion_rate(), total_resume_bytes_saved());
+                completion_rate(), total_resume_bytes_saved(),
+                static_cast<unsigned long long>(backpressure_pauses_));
   std::string out = buf;
   bool first = true;
   for (const VehicleLedger& l : ledger_) {

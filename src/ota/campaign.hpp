@@ -86,6 +86,16 @@ struct CampaignConfig {
   util::SimTime reboot_delay = util::SimTime::from_s(2);
   util::SimTime confirm_timeout = util::SimTime::from_s(30);
   FullVerificationClient::RetryPolicy retry;
+  /// Wave-level backpressure against the serving front (needs retry.server;
+  /// 0 disables). Before dispatching a wave the runner polls the server's
+  /// last-window shed ratio: above pause_shed_ratio the wave PAUSES and
+  /// re-polls every backpressure_poll until the ratio recovers to
+  /// resume_shed_ratio (hysteresis) or the poll budget runs out — the fleet
+  /// operator's half of the admission-control contract.
+  double pause_shed_ratio = 0.0;
+  double resume_shed_ratio = 0.05;
+  util::SimTime backpressure_poll = util::SimTime::from_s(1);
+  int max_backpressure_polls = 120;
 };
 
 /// Per-vehicle campaign ledger entry (deterministically exported).
@@ -131,6 +141,8 @@ class CampaignRunner {
   /// Updated vehicles / fleet size.
   double completion_rate() const;
   std::size_t total_resume_bytes_saved() const;
+  /// Waves whose dispatch was delayed at least once by server backpressure.
+  std::uint64_t backpressure_pauses() const { return backpressure_pauses_; }
 
   /// Deterministic ledger export: same seed + same script => byte-identical.
   std::string to_json() const;
@@ -143,6 +155,7 @@ class CampaignRunner {
   };
 
   void start_wave(std::size_t wave);
+  void gate_wave(std::size_t wave, int polls);
   void start_fetch(std::size_t idx);
   void on_fetch_done(std::size_t idx, const FullVerificationClient::RetryOutcome& ro);
   void run_install(std::size_t idx);
@@ -165,6 +178,7 @@ class CampaignRunner {
   std::size_t wave_pending_ = 0;   // vehicles still in flight this wave
   std::size_t current_wave_ = 0;
   std::size_t waves_dispatched_ = 0;
+  std::uint64_t backpressure_pauses_ = 0;
   bool started_ = false;
   bool finished_ = false;
   bool aborted_ = false;

@@ -59,6 +59,8 @@ void FullVerificationClient::wire_telemetry() {
   rewire(c_backoffs_, "backoffs");
   rewire(c_backoff_ns_, "backoff_ns_total");
   rewire(c_resume_bytes_saved_, "resume_bytes_saved");
+  rewire(c_server_deferrals_, "server_deferrals");
+  rewire(c_wire_bytes_, "wire_bytes");
   h_backoff_ms_ = &metrics_->histogram(p + "backoff_ms", 0.0, 60'000.0, 60);
   k_verify_ok_ = trace_.kind("verify_ok");
   k_verify_fail_ = trace_.kind("verify_fail");
@@ -69,6 +71,7 @@ void FullVerificationClient::wire_telemetry() {
   k_retries_exhausted_ = trace_.kind("retries_exhausted");
   k_stage_resume_ = trace_.kind("stage_resume");
   k_power_loss_ = trace_.kind("power_loss");
+  k_retry_after_ = trace_.kind("retry_after");
 }
 
 void FullVerificationClient::bind_telemetry(const sim::Telemetry& t) {
@@ -252,6 +255,8 @@ struct FullVerificationClient::RetryState {
   std::size_t resumed_from = 0;
   ecu::Flash* flash = nullptr;     // non-null: stream into the staging journal
   std::size_t resume_saved = 0;    // journal bytes inherited from a past boot
+  int deferrals = 0;               // kRetryAfter responses honored so far
+  std::size_t wire_bytes = 0;      // bytes that crossed the link
 };
 
 void FullVerificationClient::fetch_and_verify_with_retry(
@@ -291,27 +296,76 @@ void FullVerificationClient::fetch_and_stage_with_retry(
 
 void FullVerificationClient::retry_attempt(
     const std::shared_ptr<RetryState>& st) {
-  ++st->attempt;
-  c_fetch_attempts_->inc();
   const SimTime now = st->sched->now();
-  ASECK_TRACE(trace_, now, k_fetch_attempt_,
-              "n=" + std::to_string(st->attempt) + " image=" + st->image_name);
-  if (!st->director->available() || !st->image_repo->available()) {
-    ASECK_TRACE(trace_, now, k_fetch_interrupted_, "repo_unavailable");
-    retry_fail_transport(st);
-    return;
-  }
+  SimTime response_latency = SimTime::zero();
   TargetInfo info;
-  const OtaError err = resolve_target(
-      st->director->metadata(), st->image_repo->metadata(), st->image_name,
-      st->hardware_id, st->installed_version, now, &info);
-  if (err != OtaError::kOk) {
-    // Metadata failures are final: a retry cannot fix a bad signature,
-    // rollback, or repo disagreement.
-    Outcome out;
-    out.error = err;
-    retry_finish(st, std::move(out));
-    return;
+  if (st->policy.server) {
+    // Serving-front path: metadata comes as one coalesced snapshot, and a
+    // kRetryAfter answer is an instruction, not a failure — honoring the
+    // server's slot keeps a shed herd de-synchronized, so deferrals never
+    // count against max_attempts.
+    const MetadataResponse mr =
+        st->policy.server->fetch_metadata(st->policy.server_class, now);
+    if (mr.status == ServeStatus::kRetryAfter) {
+      if (++st->deferrals > st->policy.max_server_deferrals) {
+        ASECK_TRACE(trace_, now, k_retries_exhausted_,
+                    "deferrals=" + std::to_string(st->deferrals));
+        Outcome out;
+        out.error = OtaError::kRetriesExhausted;
+        retry_finish(st, std::move(out));
+        return;
+      }
+      c_server_deferrals_->inc();
+      ASECK_TRACE(trace_, now, k_retry_after_,
+                  "ns=" + std::to_string(mr.retry_after.ns) + " at=metadata");
+      st->sched->schedule_after(mr.retry_after,
+                                [this, st] { retry_attempt(st); });
+      return;
+    }
+    ++st->attempt;
+    c_fetch_attempts_->inc();
+    ASECK_TRACE(trace_, now, k_fetch_attempt_,
+                "n=" + std::to_string(st->attempt) +
+                    " image=" + st->image_name);
+    if (mr.status == ServeStatus::kUnavailable) {
+      ASECK_TRACE(trace_, now, k_fetch_interrupted_, "server_unavailable");
+      retry_fail_transport(st);
+      return;
+    }
+    response_latency = mr.latency;
+    const OtaError err = resolve_target(
+        *mr.snapshot.director, *mr.snapshot.image, st->image_name,
+        st->hardware_id, st->installed_version, now, &info);
+    if (err != OtaError::kOk) {
+      // Metadata failures are final: a retry cannot fix a bad signature,
+      // rollback, or repo disagreement.
+      Outcome out;
+      out.error = err;
+      retry_finish(st, std::move(out));
+      return;
+    }
+  } else {
+    ++st->attempt;
+    c_fetch_attempts_->inc();
+    ASECK_TRACE(trace_, now, k_fetch_attempt_,
+                "n=" + std::to_string(st->attempt) +
+                    " image=" + st->image_name);
+    if (!st->director->available() || !st->image_repo->available()) {
+      ASECK_TRACE(trace_, now, k_fetch_interrupted_, "repo_unavailable");
+      retry_fail_transport(st);
+      return;
+    }
+    const OtaError err = resolve_target(
+        st->director->metadata(), st->image_repo->metadata(), st->image_name,
+        st->hardware_id, st->installed_version, now, &info);
+    if (err != OtaError::kOk) {
+      // Metadata failures are final: a retry cannot fix a bad signature,
+      // rollback, or repo disagreement.
+      Outcome out;
+      out.error = err;
+      retry_finish(st, std::move(out));
+      return;
+    }
   }
   if (st->offset > 0 &&
       (info.sha256 != st->info.sha256 || info.length != st->info.length)) {
@@ -353,7 +407,13 @@ void FullVerificationClient::retry_attempt(
     ASECK_TRACE(trace_, now, k_fetch_resume_,
                 "offset=" + std::to_string(st->offset));
   }
-  retry_fetch_chunk(st);
+  if (response_latency > SimTime::zero()) {
+    // The metadata response spent queue + service time at the front.
+    st->sched->schedule_after(response_latency,
+                              [this, st] { retry_fetch_chunk(st); });
+  } else {
+    retry_fetch_chunk(st);
+  }
 }
 
 void FullVerificationClient::retry_fetch_chunk(
@@ -405,18 +465,54 @@ void FullVerificationClient::retry_fetch_chunk(
     retry_finish(st, std::move(out));
     return;
   }
-  // Image repo is the primary mirror; the director may also serve bytes.
-  auto chunk = st->image_repo->download_range(st->image_name, st->offset,
-                                              st->policy.chunk_bytes);
-  if (!chunk) {
-    chunk = st->director->download_range(st->image_name, st->offset,
-                                         st->policy.chunk_bytes);
-  }
-  if (!chunk) {
-    ASECK_TRACE(trace_, now, k_fetch_interrupted_,
-                "offset=" + std::to_string(st->offset));
-    retry_fail_transport(st);
-    return;
+  std::optional<util::Bytes> chunk;
+  std::size_t wire = 0;                      // bytes crossing the link
+  SimTime server_latency = SimTime::zero();  // queue + service at the front
+  if (st->policy.server) {
+    ChunkResponse cr =
+        st->policy.server->fetch_chunk(st->policy.server_class, st->image_name,
+                                       st->offset, st->policy.chunk_bytes, now);
+    if (cr.status == ServeStatus::kRetryAfter) {
+      // Mid-download shed: keep the offset, come back at the server's slot.
+      if (++st->deferrals > st->policy.max_server_deferrals) {
+        ASECK_TRACE(trace_, now, k_retries_exhausted_,
+                    "deferrals=" + std::to_string(st->deferrals));
+        Outcome out;
+        out.error = OtaError::kRetriesExhausted;
+        retry_finish(st, std::move(out));
+        return;
+      }
+      c_server_deferrals_->inc();
+      ASECK_TRACE(trace_, now, k_retry_after_,
+                  "ns=" + std::to_string(cr.retry_after.ns) + " at=chunk");
+      st->sched->schedule_after(cr.retry_after,
+                                [this, st] { retry_fetch_chunk(st); });
+      return;
+    }
+    if (cr.status == ServeStatus::kUnavailable) {
+      ASECK_TRACE(trace_, now, k_fetch_interrupted_,
+                  "offset=" + std::to_string(st->offset));
+      retry_fail_transport(st);
+      return;
+    }
+    wire = cr.wire_bytes;
+    server_latency = cr.latency;
+    chunk = std::move(cr.chunk);
+  } else {
+    // Image repo is the primary mirror; the director may also serve bytes.
+    chunk = st->image_repo->download_range(st->image_name, st->offset,
+                                           st->policy.chunk_bytes);
+    if (!chunk) {
+      chunk = st->director->download_range(st->image_name, st->offset,
+                                           st->policy.chunk_bytes);
+    }
+    if (!chunk) {
+      ASECK_TRACE(trace_, now, k_fetch_interrupted_,
+                  "offset=" + std::to_string(st->offset));
+      retry_fail_transport(st);
+      return;
+    }
+    wire = chunk->size();
   }
   if (chunk->empty()) {
     // Stored image is shorter than the metadata claims.
@@ -446,10 +542,16 @@ void FullVerificationClient::retry_fetch_chunk(
     st->buffer.insert(st->buffer.end(), chunk->begin(), chunk->end());
   }
   st->offset += chunk->size();
+  st->wire_bytes += wire;
   c_bytes_fetched_->inc(chunk->size());
-  const SimTime tx = SimTime::from_seconds_f(
-      static_cast<double>(chunk->size()) /
-      static_cast<double>(st->policy.link_bytes_per_sec));
+  c_wire_bytes_->inc(wire);
+  // Transfer time is paid on WIRE bytes (a delta-compressed chunk crosses
+  // the link faster), plus whatever the serving front charged in queueing.
+  const SimTime tx =
+      SimTime::from_seconds_f(
+          static_cast<double>(wire) /
+          static_cast<double>(st->policy.link_bytes_per_sec)) +
+      server_latency;
   st->sched->schedule_after(tx, [this, st] { retry_fetch_chunk(st); });
 }
 
@@ -497,6 +599,8 @@ void FullVerificationClient::retry_finish(const std::shared_ptr<RetryState>& st,
   ro.attempts = st->attempt;
   ro.resumed_from = st->resumed_from;
   ro.resume_bytes_saved = st->resume_saved;
+  ro.wire_bytes = st->wire_bytes;
+  ro.server_deferrals = st->deferrals;
   ro.finished_at = now;
   if (st->done) st->done(ro);
 }

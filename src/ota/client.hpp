@@ -12,6 +12,7 @@
 
 #include "ecu/flash.hpp"
 #include "ota/repository.hpp"
+#include "ota/server.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
@@ -89,6 +90,18 @@ class FullVerificationClient {
     /// an unjittered client never perturbs a shared RNG stream).
     double jitter = 0.0;
     util::Rng* jitter_rng = nullptr;
+    /// When non-null, every metadata and chunk fetch goes through this
+    /// serving front instead of the raw repositories. kRetryAfter responses
+    /// defer the fetch to the server-suggested time — honoring the server's
+    /// slot (instead of blind local exponential backoff) is what keeps a
+    /// shed herd de-synchronized. Deferrals do NOT count against
+    /// max_attempts (the server asked us to wait; nothing failed);
+    /// kUnavailable falls back to the transport-error backoff path.
+    RepositoryServer* server = nullptr;
+    ServeClass server_class = ServeClass::kCampaign;
+    /// Safety valve: total kRetryAfter deferrals a single fetch will honor
+    /// before giving up with kRetriesExhausted.
+    int max_server_deferrals = 256;
   };
   struct RetryOutcome {
     Outcome outcome;
@@ -97,6 +110,10 @@ class FullVerificationClient {
     /// Bytes NOT refetched because a pre-reboot staging journal survived
     /// (fetch_and_stage_with_retry only; the journal watermark at start).
     std::size_t resume_bytes_saved = 0;
+    /// Bytes that actually crossed the link (delta-compressed when served
+    /// through a RepositoryServer with a registered delta base).
+    std::size_t wire_bytes = 0;
+    int server_deferrals = 0;  // kRetryAfter responses honored
     SimTime finished_at = SimTime::zero();
   };
   using RetryCallback = std::function<void(const RetryOutcome&)>;
@@ -188,10 +205,13 @@ class FullVerificationClient {
   sim::Counter* c_backoffs_ = nullptr;
   sim::Counter* c_backoff_ns_ = nullptr;
   sim::Counter* c_resume_bytes_saved_ = nullptr;
+  sim::Counter* c_server_deferrals_ = nullptr;
+  sim::Counter* c_wire_bytes_ = nullptr;
   sim::LatencyHistogram* h_backoff_ms_ = nullptr;
   sim::TraceId k_verify_ok_ = 0, k_verify_fail_ = 0, k_fetch_attempt_ = 0,
                k_fetch_resume_ = 0, k_fetch_interrupted_ = 0, k_backoff_ = 0,
-               k_retries_exhausted_ = 0, k_stage_resume_ = 0, k_power_loss_ = 0;
+               k_retries_exhausted_ = 0, k_stage_resume_ = 0, k_power_loss_ = 0,
+               k_retry_after_ = 0;
 };
 
 /// Partial-verification (secondary ECU) client: pinned director-targets key,

@@ -59,7 +59,13 @@ void Repository::remove_target(const std::string& image_name) {
   images_.erase(image_name);
 }
 
+std::shared_ptr<const MetadataBundle> Repository::snapshot() const {
+  if (!snapshot_) snapshot_ = std::make_shared<const MetadataBundle>(bundle_);
+  return snapshot_;
+}
+
 void Repository::publish(SimTime now) {
+  invalidate_snapshot();
   TargetsMeta& targets = bundle_.targets.body;
   targets.version += 1;
   targets.expires = now + expiry_;
@@ -101,6 +107,7 @@ const crypto::EcdsaPrivateKey& Repository::role_key(Role r) const {
 }
 
 void Repository::rotate_key(crypto::Drbg& rng, Role r, SimTime now) {
+  invalidate_snapshot();
   // Keep the old root key for cross-signing the new root metadata.
   std::unique_ptr<crypto::EcdsaPrivateKey> old_root;
   if (r == Role::kRoot) {

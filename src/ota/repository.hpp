@@ -42,6 +42,17 @@ class Repository {
 
   /// Current signed metadata bundle.
   const MetadataBundle& metadata() const { return bundle_; }
+  /// Immutable generation-numbered snapshot of the current bundle. The copy
+  /// is made at most once per generation (copy-on-write): every fetch until
+  /// the next publish/rotation shares the same `shared_ptr`, so a wave of a
+  /// million vehicles costs one MetadataBundle copy instead of one each —
+  /// the E21 bench preamble measures the win. The pointed-to bundle never
+  /// mutates; republishing produces a fresh snapshot under a new generation.
+  std::shared_ptr<const MetadataBundle> snapshot() const;
+  /// Monotonic metadata generation: bumped by publish(), rotate_key(), and
+  /// mutable_bundle() (the attack hook hands out a mutable reference, so the
+  /// repository must assume the bundle changed).
+  std::uint64_t generation() const { return generation_; }
   /// Image download; returns nullptr if unknown or unavailable (outage).
   const util::Bytes* download(const std::string& image_name) const;
   /// Byte-range download for resumable fetch: bytes [offset, offset+max_len)
@@ -69,7 +80,10 @@ class Repository {
 
   /// Direct mutable access to the bundle for attack construction in tests
   /// and benches (an attacker who stole role keys forges metadata).
-  MetadataBundle& mutable_bundle() { return bundle_; }
+  MetadataBundle& mutable_bundle() {
+    invalidate_snapshot();
+    return bundle_;
+  }
 
   /// Re-sign helpers exposed for attack scenarios: sign `body` with this
   /// repository's key for role `r`.
@@ -81,12 +95,18 @@ class Repository {
 
  private:
   void rebuild_root(SimTime now, const crypto::EcdsaPrivateKey* old_root_key);
+  void invalidate_snapshot() {
+    ++generation_;
+    snapshot_.reset();
+  }
 
   std::string name_;
   SimTime expiry_;
   std::map<Role, std::unique_ptr<crypto::EcdsaPrivateKey>> keys_;
   std::map<std::string, util::Bytes> images_;
   MetadataBundle bundle_;
+  std::uint64_t generation_ = 0;
+  mutable std::shared_ptr<const MetadataBundle> snapshot_;  // lazy, per gen
   sim::FaultPort* fault_port_ = nullptr;
 };
 

@@ -17,6 +17,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kOutage: return "outage";
     case FaultKind::kPowerLoss: return "power_loss";
     case FaultKind::kMalformedFrame: return "malformed_frame";
+    case FaultKind::kRepoSlowdown: return "repo_slowdown";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ bool fault_kind_auto_recovers(FaultKind k) {
     case FaultKind::kFrameDuplicate:
     case FaultKind::kRadioLoss:
     case FaultKind::kMalformedFrame:
+    case FaultKind::kRepoSlowdown:
       return true;
     case FaultKind::kCrash:
     case FaultKind::kPartition:
@@ -121,6 +123,17 @@ void FaultPlan::apply(const FaultSpec& spec, bool begin) {
         p.malformed_ = spec.payload;
       } else if (p.malformed_p_ <= 0) {
         p.malformed_.clear();
+      }
+      break;
+    case FaultKind::kRepoSlowdown:
+      // Overlapping windows stack; the subtraction is exact because ns are
+      // integers, but clamp anyway against a mismatched begin/end pair.
+      if (begin) {
+        p.slowdown_ += spec.delay;
+      } else {
+        p.slowdown_ = spec.delay.ns >= p.slowdown_.ns
+                          ? util::SimTime::zero()
+                          : p.slowdown_ - spec.delay;
       }
       break;
   }

@@ -52,6 +52,7 @@ enum class FaultKind {
   kOutage,          // service unavailability (OTA repository)
   kPowerLoss,       // power cut during a flash write (install / commit marker)
   kMalformedFrame,  // frame payload replaced by an attack-corpus entry
+  kRepoSlowdown,    // service-latency inflation (overloaded/brown-out backend)
 };
 const char* fault_kind_name(FaultKind k);
 
@@ -65,7 +66,12 @@ struct FaultSpec {
   std::string target;                    // e.g. "can.powertrain", "ota.director"
   FaultKind kind = FaultKind::kFrameDrop;
   double probability = 1.0;              // per-frame kinds: P(frame affected)
-  util::SimTime delay = util::SimTime::zero();  // kFrameDelay: added latency
+  /// kFrameDelay: added frame latency. kRepoSlowdown: extra service latency
+  /// added to every request the target handles while the window is active —
+  /// a brown-out is latency inflation, not a binary outage, so a serving
+  /// front walks its degradation ladder instead of flipping to down().
+  /// Overlapping slowdown windows stack additively.
+  util::SimTime delay = util::SimTime::zero();
   /// kPowerLoss only: cut power at exactly this write-op index (page program
   /// or header write, counted from the window start). -1 = no exact index;
   /// with `probability` < 1 each write op instead rolls Bernoulli(p) — the
@@ -101,6 +107,9 @@ class FaultPort {
   }
   /// Inside a kCrash/kPartition/kRadioLoss/kOutage window.
   bool down() const { return down_ > 0; }
+  /// Summed extra service latency of all active kRepoSlowdown windows
+  /// (zero when none); a serving front adds this to each request it handles.
+  util::SimTime service_slowdown() const { return slowdown_; }
   /// One persistent flash write op is about to happen; true = the power cut
   /// hits this write. Counts write ops so an exact `page_index` cut lands on
   /// precisely one op; otherwise rolls Bernoulli(power_loss_p_) per op
@@ -118,7 +127,7 @@ class FaultPort {
   bool active() const {
     return down_ > 0 || drop_p_ > 0 || corrupt_p_ > 0 || dup_p_ > 0 ||
            delay_p_ > 0 || power_loss_p_ > 0 || power_cut_at_ >= 0 ||
-           malformed_p_ > 0;
+           malformed_p_ > 0 || slowdown_.ns > 0;
   }
 
  private:
@@ -131,6 +140,7 @@ class FaultPort {
   std::int64_t power_cut_at_ = -1;  // exact write-op index; -1 = disabled
   std::uint64_t write_ops_ = 0;    // write ops seen in the current window
   util::SimTime delay_ = util::SimTime::zero();
+  util::SimTime slowdown_ = util::SimTime::zero();  // summed active inflation
   int down_ = 0;  // nesting count of overlapping stateful windows
   util::Rng* rng_;
 };
