@@ -18,6 +18,12 @@
 // `--seed N` (default 42) fixes every random draw. `--smoke` shrinks the
 // sweep AND suppresses every timing-derived number, so two smoke runs with
 // the same seed emit byte-identical output (chaos-smoke CI diffs them).
+//
+// Since PR 9 the per-signature fast path measured here is also the batch
+// pipeline's fallback: `ecdsa_verify_batch` (E22) resolves unhinted or
+// bisection-isolated items through exactly this verifier, so E17's numbers
+// are the floor the batch kernel amortizes against — see
+// bench_e22_batch_verify for the batched measurement.
 
 #include <algorithm>
 #include <ctime>

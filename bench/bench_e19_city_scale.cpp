@@ -12,9 +12,11 @@
 // Reported per thread count: wall time, BSM throughput (msgs/sec of
 // simulated radio traffic), vehicle-sim-seconds/sec, cross-shard message
 // volume, and speedup vs the 1-thread run. After the sweep: modeled wire
-// bytes per vehicle per second, model memory per vehicle, and modeled HSM
-// verify utilization (E17-calibrated 350 us/verify) — the paper's
-// scalability knobs.
+// bytes per vehicle per second, model memory per vehicle, and the crypto
+// cost — by default the REAL E22 batch pipeline (per-rotation beacon
+// signatures, shard-local admitted-cache dedup, RLC batch verification;
+// see v2x/citynet.hpp), with `--modeled` falling back to the E17-calibrated
+// 350 us/verify HSM accounting model this bench shipped with.
 //
 // Determinism: every run's digest (config, totals, state hash, merged
 // metrics; no wall-clock content) must be byte-identical across thread
@@ -24,6 +26,7 @@
 //
 // Flags: --vehicles N  --sim-s S  --seed U  --threads T (sweep 1,2,..,T)
 //        --smoke (small preset)  --digest (digest JSON only, no timing)
+//        --modeled (cost-model crypto accounting instead of real ECDSA)
 
 #include <chrono>
 #include <cmath>
@@ -41,11 +44,12 @@ using util::SimTime;
 namespace {
 
 v2x::MetroConfig make_config(std::size_t vehicles, std::uint64_t seed,
-                             unsigned threads) {
+                             unsigned threads, bool real_crypto) {
   v2x::MetroConfig cfg;
   cfg.vehicles = vehicles;
   cfg.seed = seed;
   cfg.threads = threads;
+  cfg.real_crypto = real_crypto;
   // Keep metro density (~250 vehicles/km^2) as the fleet scales, so
   // per-vehicle neighborhood load is comparable at every size. Snap to the
   // 500 m shard cell.
@@ -90,7 +94,7 @@ int main(int argc, char** argv) {
   double sim_s = 1.0;
   std::uint64_t seed = 42;
   unsigned max_threads = 4;
-  bool smoke = false, digest_only = false;
+  bool smoke = false, digest_only = false, modeled = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vehicles") == 0 && i + 1 < argc) {
       vehicles = std::strtoull(argv[++i], nullptr, 10);
@@ -104,10 +108,12 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--digest") == 0) {
       digest_only = true;
+    } else if (std::strcmp(argv[i], "--modeled") == 0) {
+      modeled = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--vehicles N] [--sim-s S] [--seed U] "
-                   "[--threads T] [--smoke] [--digest]\n",
+                   "[--threads T] [--smoke] [--digest] [--modeled]\n",
                    argv[0]);
       return 255;
     }
@@ -121,7 +127,7 @@ int main(int argc, char** argv) {
   if (digest_only) {
     // One run at exactly --threads; stdout is the digest and nothing else,
     // so CI can diff a 1-thread run against an N-thread run byte-for-byte.
-    const RunResult r = run_once(make_config(vehicles, seed, max_threads), sim_s);
+    const RunResult r = run_once(make_config(vehicles, seed, max_threads, !modeled), sim_s);
     std::printf("%s\n", r.digest.c_str());
     return 0;
   }
@@ -139,7 +145,7 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results;
   int mismatches = 0;
   for (unsigned t : sweep) {
-    const RunResult r = run_once(make_config(vehicles, seed, t), sim_s);
+    const RunResult r = run_once(make_config(vehicles, seed, t, !modeled), sim_s);
     const bool match = results.empty() || r.digest == results.front().digest;
     if (!match) ++mismatches;
     const double msgs =
@@ -172,16 +178,39 @@ int main(int argc, char** argv) {
               static_cast<double>(ref.totals.bytes_tx) /
                   static_cast<double>(vehicles) / sim_seconds);
   std::printf("model memory: %.1f bytes/vehicle\n", ref.bytes_per_vehicle);
-  // Modeled HSM load: every delivered BSM costs one P-256 verify
-  // (E17-calibrated). >1.0 means a single per-vehicle HSM could not keep
-  // up and batching/sampling (paper §5 cost pressure) becomes mandatory.
-  const double verifies_per_vehicle_s =
-      static_cast<double>(ref.totals.rx) / static_cast<double>(vehicles) /
-      sim_seconds;
-  std::printf("modeled HSM verify utilization: %.2f (%.0f verifies/vehicle/s "
-              "x %.0f us)\n",
-              verifies_per_vehicle_s * ref.verify_cost_us / 1e6,
-              verifies_per_vehicle_s, ref.verify_cost_us);
+  if (modeled) {
+    // Modeled HSM load: every delivered BSM costs one P-256 verify
+    // (E17-calibrated). >1.0 means a single per-vehicle HSM could not keep
+    // up and batching/sampling (paper §5 cost pressure) becomes mandatory.
+    const double verifies_per_vehicle_s =
+        static_cast<double>(ref.totals.rx) / static_cast<double>(vehicles) /
+        sim_seconds;
+    std::printf("modeled HSM verify utilization: %.2f (%.0f verifies/vehicle/s "
+                "x %.0f us)\n",
+                verifies_per_vehicle_s * ref.verify_cost_us / 1e6,
+                verifies_per_vehicle_s, ref.verify_cost_us);
+  } else {
+    // Real E22 pipeline: genuine P-256 signatures were produced and
+    // batch-verified. The amortization line is the whole O2 story — without
+    // the admitted-cache + batch kernel every reception would pay a full
+    // verify, with them only the first reception per (sender, rotation) per
+    // shard does.
+    const std::uint64_t checks = ref.totals.admit_hits + ref.totals.verify_enqueued;
+    std::printf("real crypto: %llu beacon signatures, %llu batch-verified "
+                "beacons, %llu admitted-cache hits (%llu failures)\n",
+                static_cast<unsigned long long>(ref.totals.beacon_signs),
+                static_cast<unsigned long long>(ref.totals.verify_enqueued),
+                static_cast<unsigned long long>(ref.totals.admit_hits),
+                static_cast<unsigned long long>(ref.totals.verify_fail));
+    std::printf("amortization: %.1f signature checks amortized per real "
+                "verify (%.3f verifies/reception vs 1.0 unbatched)\n",
+                checks ? static_cast<double>(checks) /
+                             static_cast<double>(ref.totals.verify_enqueued)
+                       : 0.0,
+                ref.totals.rx ? static_cast<double>(ref.totals.verify_enqueued) /
+                                    static_cast<double>(ref.totals.rx)
+                              : 0.0);
+  }
   std::printf("\ndeterminism: %d digest mismatch(es) across %zu thread "
               "counts (state hash %s)\n",
               mismatches, sweep.size(),

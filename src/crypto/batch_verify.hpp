@@ -1,0 +1,65 @@
+#pragma once
+// True batch ECDSA-P256 verification (ROADMAP O2).
+//
+// The per-signature verification equation, multiplied through by s to avoid
+// the per-item modular inversion of s, is
+//
+//     s_i * R_i  ==  z_i * G  +  r_i * Q_i
+//
+// where R_i is the signer's nonce point. A batch of N signatures is checked
+// with ONE random-linear-combination (RLC) evaluation:
+//
+//     (sum_i a_i * z_i) * G  +  sum_i (a_i * r_i) * Q_i
+//                            +  sum_i (a_i * s_i) * (-R_i)  ==  O
+//
+// with per-item 64-bit coefficients a_i. All 2N+1 scalar terms share one
+// 256-step doubling chain (p256::multi_scalar_mult) and one Montgomery batch
+// inversion for the precomputed tables — that amortization is the whole
+// speedup. A failing check bisects: each half is re-checked recursively, and
+// singleton leaves fall back to the standard per-item ecdsa_verify_digest,
+// so per-item verdicts always match the sequential verifier bit-for-bit.
+//
+// R_i is recovered from (r_i, r_parity hint) by curve-point decompression;
+// signatures without a usable hint (wire round trips strip it) are verified
+// per-item — a perf cost, never a correctness one. A tampered hint
+// decompresses to the wrong point, fails the RLC, and the leaf fallback
+// still returns the true verdict.
+//
+// Determinism: the a_i are derived from a SHA-256 transcript of the batch
+// contents plus a caller salt, so identical batches give identical work —
+// the repo-wide bit-reproducibility contract. The flip side is that an
+// adversary who can predict the transcript could in principle craft
+// cancelling invalid pairs; callers holding long-lived engines can fold
+// run-unique entropy into `salt` when that matters (the simulations prefer
+// reproducibility).
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/ecdsa.hpp"
+
+namespace aseck::crypto {
+
+struct BatchVerifyItem {
+  const EcdsaPublicKey* pub = nullptr;
+  Digest digest{};
+  const EcdsaSignature* sig = nullptr;
+};
+
+/// Work accounting for benches/metrics (not part of the verdict).
+struct BatchVerifyStats {
+  std::uint64_t items = 0;          // total items seen
+  std::uint64_t rlc_checks = 0;     // random-linear-combination evaluations
+  std::uint64_t rlc_items = 0;      // items covered by those evaluations
+  std::uint64_t bisections = 0;     // failed checks split in half
+  std::uint64_t single_checks = 0;  // per-item fallback verifications
+};
+
+/// Verifies every item, returning per-item verdicts in order. Bit-identical
+/// to calling ecdsa_verify_digest per item (differentially tested against
+/// ecdsa_verify_digest_slow). Null pub/sig verdicts are false.
+std::vector<bool> ecdsa_verify_batch(const std::vector<BatchVerifyItem>& items,
+                                     util::BytesView salt = {},
+                                     BatchVerifyStats* stats = nullptr);
+
+}  // namespace aseck::crypto

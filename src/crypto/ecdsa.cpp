@@ -8,12 +8,7 @@ namespace aseck::crypto {
 
 namespace {
 
-/// Converts a digest to an integer mod n (leftmost-bits rule; for SHA-256 and
-/// P-256 both are 256 bits, so this is just a reduction).
-U256 digest_to_scalar(const Digest& d) {
-  const U256 z = U256::from_bytes(util::BytesView(d.data(), d.size()));
-  return mod_generic(z, p256::N());
-}
+using detail::digest_to_scalar;
 
 /// Retry budget for nonce derivation. Each candidate is zero mod n with
 /// probability ~2^-256, so exhausting this means the HMAC itself is broken —
@@ -53,6 +48,13 @@ U256 nonce_candidate(const U256& d, const Digest& digest,
   const Digest h = hmac_sha256(key, msg);
   return mod_generic(U256::from_bytes(util::BytesView(h.data(), h.size())),
                      p256::N());
+}
+
+U256 digest_to_scalar(const Digest& d) {
+  // Leftmost-bits rule; for SHA-256 and P-256 both are 256 bits, so this is
+  // just a reduction mod n.
+  const U256 z = U256::from_bytes(util::BytesView(d.data(), d.size()));
+  return mod_generic(z, p256::N());
 }
 
 }  // namespace detail
@@ -134,7 +136,12 @@ EcdsaSignature EcdsaPrivateKey::sign_digest(const Digest& digest) const {
       attempt_digest[0] ^= 0xa5;
       continue;
     }
-    return EcdsaSignature{r, s};
+    EcdsaSignature sig{r, s};
+    // Attach the 1609.2-style compressed-y hint, but only when R.x < n so r
+    // names R.x unambiguously (for r in [0, p - n) the point could also have
+    // had x = r + n; skipping the hint there keeps it trustworthy-or-absent).
+    if (cmp(R.x, n) < 0) sig.r_parity = R.y.is_odd() ? 1 : 0;
+    return sig;
   }
 }
 

@@ -17,10 +17,22 @@ namespace aseck::crypto {
 struct EcdsaSignature {
   U256 r, s;
 
-  /// 64-byte r||s serialization.
+  /// y-parity of the signer's nonce point R, when known — the IEEE 1609.2
+  /// compressed-y signer hint. Signers set it only when R.x < n (so r
+  /// identifies R.x unambiguously); it is absent after a bare r||s wire
+  /// round trip. Purely an acceleration hint: batch verification uses it to
+  /// decompress R without a per-item fallback, and a wrong or missing hint
+  /// costs performance, never correctness. Equality ignores it.
+  static constexpr std::uint8_t kNoRParity = 0xff;
+  std::uint8_t r_parity = kNoRParity;
+  bool has_r_parity() const { return r_parity <= 1; }
+
+  /// 64-byte r||s serialization (the parity hint is not serialized).
   util::Bytes to_bytes() const;
   static std::optional<EcdsaSignature> from_bytes(util::BytesView b);
-  friend bool operator==(const EcdsaSignature&, const EcdsaSignature&) = default;
+  friend bool operator==(const EcdsaSignature& a, const EcdsaSignature& b) {
+    return a.r == b.r && a.s == b.s;
+  }
 };
 
 struct EcdsaPublicKey {
@@ -72,6 +84,9 @@ namespace detail {
 /// the same candidates).
 U256 nonce_candidate(const U256& d, const Digest& digest,
                      std::uint32_t counter);
+/// Digest -> integer mod n (leftmost-bits rule). Shared with the batch
+/// verifier so both paths reduce the message hash identically.
+U256 digest_to_scalar(const Digest& d);
 }  // namespace detail
 
 /// ECDH: shared secret = x-coordinate of d * Q, expanded through HKDF with

@@ -1,5 +1,7 @@
 #include "crypto/p256.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
 namespace aseck::crypto::p256 {
@@ -343,6 +345,13 @@ inline bool fe_is_zero(const Fe& a) {
   return (a.l[0] | a.l[1] | a.l[2] | a.l[3]) == 0;
 }
 
+/// Equality of canonical (< p) representatives; in the Montgomery domain
+/// this is exactly value equality.
+inline bool fe_eq(const Fe& a, const Fe& b) {
+  return ((a.l[0] ^ b.l[0]) | (a.l[1] ^ b.l[1]) | (a.l[2] ^ b.l[2]) |
+          (a.l[3] ^ b.l[3])) == 0;
+}
+
 inline std::uint64_t fe_add_raw(Fe& r, const Fe& a, const Fe& b) {
   std::uint64_t carry = 0;
   for (std::size_t i = 0; i < 4; ++i) {
@@ -636,6 +645,30 @@ void jacfe_batch_affine(const JacFe* in, AffFe* out, int m) {
   }
 }
 
+/// Heap-buffered variant for arbitrarily sized batches: multi_scalar_mult
+/// funnels the odd-multiple tables of every term in a verify set through
+/// this one inversion.
+void jacfe_batch_affine_n(const JacFe* in, AffFe* out, std::size_t m) {
+  std::vector<Fe> prefix(m);
+  Fe acc = fe_one();
+  for (std::size_t i = 0; i < m; ++i) {
+    prefix[i] = acc;
+    if (!jacfe_is_inf(in[i])) acc = fe_mul(acc, in[i].z);
+  }
+  Fe inv = fe_from(inv_mod_prime(fe_to(acc), kP));
+  for (std::size_t i = m; i-- > 0;) {
+    if (jacfe_is_inf(in[i])) {
+      out[i] = AffFe{fe_zero(), fe_zero(), true};
+      continue;
+    }
+    const Fe zinv = fe_mul(inv, prefix[i]);
+    inv = fe_mul(inv, in[i].z);
+    const Fe z2 = fe_sqr(zinv);
+    out[i] = AffFe{fe_mul(in[i].x, z2), fe_mul(in[i].y, fe_mul(z2, zinv)),
+                   false};
+  }
+}
+
 // --- Fixed-base tables for k*G ----------------------------------------------
 //
 // comb[i][j-1] = j * 2^(4i) * G (affine), i in [0, 64), j in [1, 16).
@@ -712,7 +745,7 @@ const FixedBaseTables& fixed_base() {
 /// is sized with headroom).
 constexpr std::size_t kMaxWnafDigits = 260;
 
-int wnaf(const U256& k, int width, std::int8_t (&digits)[kMaxWnafDigits]) {
+int wnaf(const U256& k, int width, std::int8_t* digits) {
   const std::uint32_t mask = (1u << width) - 1;
   const int half = 1 << (width - 1);
   U256 x = k;
@@ -797,6 +830,104 @@ JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
     if (i < n2 && d2[i] != 0) {
       const AffFe& m = odd_q[(d2[i] > 0 ? d2[i] : -d2[i]) / 2];
       if (!m.inf) r = add_mixed_fe(r, d2[i] > 0 ? m : afffe_neg(m));
+    }
+  }
+  return jacfe_to(r);
+}
+
+std::optional<AffinePoint> decompress(const U256& x, bool y_odd) {
+  if (cmp(x, kP) >= 0) return std::nullopt;
+  const Fe xf = fe_from(x);
+  // rhs = x^3 - 3x + b.
+  static const Fe bf = fe_from(kB);
+  const Fe x3 = fe_mul(fe_sqr(xf), xf);
+  const Fe three_x = fe_add(fe_add(xf, xf), xf);
+  const Fe rhs = fe_add(fe_sub(x3, three_x), bf);
+  // p == 3 (mod 4): sqrt(a) = a^((p+1)/4) when a is a quadratic residue.
+  static const U256 exp = [] {
+    U256 e;
+    add(e, kP, U256::one());  // p + 1 < 2^256, no carry out
+    shr1(e);
+    shr1(e);
+    return e;
+  }();
+  Fe y = fe_one();
+  for (int i = exp.top_bit(); i >= 0; --i) {
+    y = fe_sqr(y);
+    if (exp.bit(static_cast<unsigned>(i))) y = fe_mul(y, rhs);
+  }
+  if (!fe_eq(fe_sqr(y), rhs)) return std::nullopt;  // non-residue: no point
+  U256 yu = fe_to(y);
+  if (yu.is_odd() != y_odd) {
+    y = fe_sub(fe_zero(), y);
+    yu = fe_to(y);
+    // Only y == 0 is parity-fixed under negation; no P-256 point has it
+    // (b != 0, prime order), so a residual mismatch means no such point.
+    if (yu.is_odd() != y_odd) return std::nullopt;
+  }
+  return AffinePoint{x, yu, false};
+}
+
+JacobianPoint multi_scalar_mult(const U256& g_scalar,
+                                const std::vector<MultiScalarTerm>& terms) {
+  // Width-5 wNAF for dynamic terms: odd multiples {1,3,...,15}P, 8 entries.
+  constexpr int kTermEntries = 8;
+  std::int8_t dg[kMaxWnafDigits];
+  const int ng = g_scalar.is_zero() ? 0 : wnaf(g_scalar, 8, dg);
+
+  const std::size_t nt = terms.size();
+  std::vector<std::array<std::int8_t, kMaxWnafDigits>> digits(nt);
+  std::vector<int> nd(nt, 0);
+  int top = ng;
+  for (std::size_t i = 0; i < nt; ++i) {
+    if (terms[i].point.infinity || terms[i].scalar.is_zero()) continue;
+    nd[i] = wnaf(terms[i].scalar, 5, digits[i].data());
+    top = std::max(top, nd[i]);
+  }
+
+  // Per-term tables are chained in Jacobian form (one doubling + general
+  // additions, no per-entry inversion); the entries of ALL terms are then
+  // normalised to affine with one shared Montgomery batch inversion.
+  std::vector<AffFe> table(nt * kTermEntries,
+                           AffFe{fe_zero(), fe_zero(), true});
+  std::vector<JacFe> jac;
+  std::vector<std::size_t> jac_slot;
+  jac.reserve(nt * (kTermEntries - 1));
+  jac_slot.reserve(nt * (kTermEntries - 1));
+  for (std::size_t i = 0; i < nt; ++i) {
+    if (nd[i] == 0) continue;
+    const AffFe base = afffe_from(terms[i].point);
+    table[i * kTermEntries] = base;
+    const JacFe p2 = dbl_fe(jacfe_from_aff(base));
+    JacFe acc = add_mixed_fe(p2, base);  // 3P
+    for (int e = 1; e < kTermEntries; ++e) {
+      jac.push_back(acc);
+      jac_slot.push_back(i * kTermEntries + static_cast<std::size_t>(e));
+      if (e + 1 < kTermEntries) acc = add_fe(acc, p2);
+    }
+  }
+  if (!jac.empty()) {
+    std::vector<AffFe> aff(jac.size());
+    jacfe_batch_affine_n(jac.data(), aff.data(), jac.size());
+    for (std::size_t k = 0; k < jac.size(); ++k) table[jac_slot[k]] = aff[k];
+  }
+
+  // One shared doubling chain for every term (the Straus interleaving).
+  const FixedBaseTables& t = fixed_base();
+  JacFe r = jacfe_infinity();
+  for (int i = top; i-- > 0;) {
+    r = dbl_fe(r);
+    if (i < ng && dg[i] != 0) {
+      const AffFe& m = t.odd_g[(dg[i] > 0 ? dg[i] : -dg[i]) / 2];
+      r = add_mixed_fe(r, dg[i] > 0 ? m : afffe_neg(m));
+    }
+    for (std::size_t j = 0; j < nt; ++j) {
+      if (i >= nd[j]) continue;
+      const int d = digits[j][static_cast<std::size_t>(i)];
+      if (d == 0) continue;
+      const AffFe& m = table[j * kTermEntries +
+                             static_cast<std::size_t>((d > 0 ? d : -d) / 2)];
+      if (!m.inf) r = add_mixed_fe(r, d > 0 ? m : afffe_neg(m));
     }
   }
   return jacfe_to(r);

@@ -105,6 +105,28 @@ bool x_equals_mod_n(const JacobianPoint& pt, const U256& r);
 /// tests and the E17 slow-vs-fast sweep.
 JacobianPoint double_scalar_mult_shamir(const U256& u1, const U256& u2,
                                         const AffinePoint& q);
+
+/// Recovers the affine point with the given x-coordinate and y-parity
+/// (SEC1 compressed form). Returns nullopt when x >= p or x is not the
+/// x-coordinate of any curve point. Since p == 3 (mod 4) the square root is
+/// a single exponentiation by (p+1)/4.
+std::optional<AffinePoint> decompress(const U256& x, bool y_odd);
+
+/// One term of a multi-scalar multiplication: scalar * point.
+struct MultiScalarTerm {
+  U256 scalar;
+  AffinePoint point;
+};
+
+/// g_scalar*G + sum_i terms[i].scalar * terms[i].point over ONE shared
+/// doubling chain (Straus/interleaved wNAF): the G term reuses the static
+/// width-8 odd-G table; each dynamic term gets a width-5 odd-multiple table
+/// whose entries — across ALL terms — are normalised to affine with a single
+/// shared Montgomery batch inversion. This is the batch-ECDSA kernel: the
+/// 256 doublings and the inversion are paid once per batch instead of once
+/// per signature.
+JacobianPoint multi_scalar_mult(const U256& g_scalar,
+                                const std::vector<MultiScalarTerm>& terms);
 /// Forces construction of the lazy fixed-base tables (e.g. so benches can
 /// exclude the one-time build from measurements). Idempotent.
 void init_fixed_base_tables();

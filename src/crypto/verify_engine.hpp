@@ -9,17 +9,26 @@
 //    sender's beacon reaches several receivers or a chain is re-walked, and
 //    production 1609.2 stacks cache exactly this way;
 //  * a batch-verify API that amortizes cache probes over a burst of SPDUs
-//    (the per-simulation-step receive queue);
+//    and (opt-in) routes the misses through the true batch kernel
+//    (ecdsa_verify_batch): one random-linear-combination check and one
+//    shared Montgomery batch inversion per burst instead of a full
+//    double-scalar-mult per item;
 //  * shared MetricsRegistry export: crypto.verify.{calls,cache_hits,
-//    evictions} counters and a crypto.verify.latency_us histogram.
+//    evictions,primitive,batched} counters and a crypto.verify.batch_items
+//    histogram of kernel batch sizes.
 //
-// The engine is deliberately single-threaded and allocation-light: the sim
-// is single-threaded and bit-deterministic, and the cache (ordered map, no
-// hashing, no clocks on the unbound path) preserves that.
+// Every exported instrument is a deterministic function of the verify
+// workload — no wall-clock content — so merged registries can feed digest
+// JSON that must be byte-identical across runs and thread counts. Wall-clock
+// timing lives in the benches, next to the other timing, not here.
+//
+// The engine is deliberately single-threaded and allocation-light: callers
+// that want parallelism run one engine per VerifyPool lane.
 
 #include <cstdint>
 #include <vector>
 
+#include "crypto/batch_verify.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/sha256.hpp"
 #include "sim/telemetry.hpp"
@@ -41,25 +50,40 @@ class VerifyEngine {
   bool verify(const EcdsaPublicKey& pub, util::BytesView msg,
               const EcdsaSignature& sig);
 
-  struct BatchItem {
-    const EcdsaPublicKey* pub = nullptr;
-    Digest digest{};
-    const EcdsaSignature* sig = nullptr;
-  };
+  using BatchItem = BatchVerifyItem;
   /// Verifies each item (cache-assisted), returning per-item verdicts in
-  /// order. Equivalent to calling verify_digest per item but keeps the whole
-  /// burst on one engine so repeated (digest, key, sig) triples in a receive
-  /// queue hit the cache.
+  /// order — including null-pointer items, which verdict false and still
+  /// count as calls. Duplicate triples within the burst are resolved once.
+  /// With the batch kernel enabled, cache misses go through
+  /// ecdsa_verify_batch; verdicts are identical either way.
   std::vector<bool> verify_batch(const std::vector<BatchItem>& items);
 
-  /// Exports counters/latency onto a shared registry (idempotent; later
-  /// verifications also tick the registry instruments). Counter values
-  /// accumulated before binding are carried over.
+  /// Routes verify_batch misses through the RLC batch kernel when the burst
+  /// has at least `min_batch` of them. Off by default (per-item path).
+  void set_batch_kernel(bool on, std::size_t min_batch = 2) {
+    batch_kernel_ = on;
+    batch_min_ = min_batch < 1 ? 1 : min_batch;
+  }
+  bool batch_kernel() const { return batch_kernel_; }
+  /// Extra entropy folded into the kernel's randomizer transcript.
+  void set_batch_salt(util::Bytes salt) { salt_ = std::move(salt); }
+  /// Kernel work accounting (RLC checks, bisections, fallbacks).
+  const BatchVerifyStats& batch_stats() const { return batch_stats_; }
+
+  /// Exports counters onto a shared registry (idempotent; later
+  /// verifications also tick the registry instruments). Totals accumulated
+  /// before binding are carried over — for every counter alike, so a fresh
+  /// registry always ends up matching the engine's own view.
   void bind_metrics(sim::MetricsRegistry& reg);
 
   std::uint64_t calls() const { return calls_; }
-  std::uint64_t cache_hits() const { return cache_.hits(); }
+  /// LRU hits plus in-burst duplicate resolutions.
+  std::uint64_t cache_hits() const { return cache_.hits() + alias_hits_; }
   std::uint64_t evictions() const { return cache_.evictions(); }
+  /// Verifications that reached real point arithmetic (cache misses).
+  std::uint64_t primitive_calls() const { return primitive_; }
+  /// Of those, how many were resolved through the batch kernel.
+  std::uint64_t batched_calls() const { return batched_; }
   std::size_t cache_size() const { return cache_.size(); }
   std::size_t cache_capacity() const { return cache_.capacity(); }
   void set_cache_capacity(std::size_t cap);
@@ -67,14 +91,28 @@ class VerifyEngine {
  private:
   static Digest cache_key(const EcdsaPublicKey& pub, const Digest& digest,
                           const EcdsaSignature& sig);
+  /// Ticks the bound eviction counter up to the cache's current total.
+  void sync_evictions();
 
   util::LruCache<Digest, bool> cache_;
   std::uint64_t calls_ = 0;
+  std::uint64_t alias_hits_ = 0;
+  std::uint64_t primitive_ = 0;
+  std::uint64_t batched_ = 0;
+  bool batch_kernel_ = false;
+  std::size_t batch_min_ = 2;
+  util::Bytes salt_;
+  BatchVerifyStats batch_stats_;
   sim::Counter* c_calls_ = nullptr;
   sim::Counter* c_hits_ = nullptr;
   sim::Counter* c_evictions_ = nullptr;
-  sim::LatencyHistogram* h_latency_us_ = nullptr;
-  std::uint64_t exported_evictions_ = 0;
+  sim::Counter* c_primitive_ = nullptr;
+  sim::Counter* c_batched_ = nullptr;
+  sim::LatencyHistogram* h_batch_items_ = nullptr;
+  /// Cache evictions already reflected into the *currently bound* counter;
+  /// reset at bind time after the full-total carry (the old code instead
+  /// carried only the un-exported delta into fresh registries).
+  std::uint64_t synced_evictions_ = 0;
 };
 
 }  // namespace aseck::crypto

@@ -74,10 +74,11 @@ class ShardedWorld;
 /// Not constructible by users; obtained from `ShardedWorld::shard`.
 class Shard {
  public:
-  /// Cross-shard message handler. 88 bytes of inline capture is enough for
-  /// an entity migration (the largest payload in the city model) without
-  /// heap allocation on the per-message hot path.
-  using Handler = util::SmallFn<void(Shard&), 88>;
+  /// Cross-shard message handler. 160 bytes of inline capture fits an entity
+  /// migration (the largest payload in the city model — a CityVehicle now
+  /// carries its rotation-beacon ECDSA signature for the real-crypto receive
+  /// path) without heap allocation on the per-message hot path.
+  using Handler = util::SmallFn<void(Shard&), 160>;
 
   Scheduler& sched() { return sched_; }
   const Scheduler& sched() const { return sched_; }

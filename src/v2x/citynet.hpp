@@ -2,9 +2,7 @@
 // City-scale V2X metro simulation on the sharded world (E19).
 //
 // `MetroWorld` scales the V2X workload of net.hpp to 100k+ vehicles by
-// trading per-message cryptography for the measured cost model (E17
-// calibrates real verify latency; here crypto cost is accounting, not
-// computation) and by running on `sim::ShardedWorld`: vehicles live in the
+// running on `sim::ShardedWorld`: vehicles live in the
 // shard that owns their position, BSM broadcast and reception happen
 // shard-locally through the shard-cell geometry (cell edge >= radio
 // range), and two kinds of cross-shard traffic ride the epoch batches:
@@ -24,6 +22,18 @@
 // shard layouts and thread counts. Channel loss draws from the *receiving*
 // shard's RNG stream in scan order — deterministic for any thread count.
 //
+// Crypto comes in two modes. With `real_crypto` off (the default), crypto
+// cost is pure accounting: E17's measured per-verify latency
+// (`verify_cost_us`) prices the reception counts after the fact. With
+// `real_crypto` on, every reception runs genuine ECDSA-P256 through the
+// shard's batch verify pipeline (E22): each vehicle signs one beacon per
+// pseudonym rotation over (id, rotations, temp_id) with a key derived
+// deterministically from (id, rotations); receivers verify each (sender,
+// rotation) beacon once — an `admitted` LRU dedups repeat receptions, and
+// misses accumulate into the shard's `VerifyEngine` RLC batch. Keys,
+// signatures, and flush points are all pure functions of the workload, so
+// the digest stays bit-identical across thread counts.
+//
 // Everything observable — per-shard metrics, merged totals, and the FNV
 // state hash over final vehicle states — is bit-identical between a
 // 1-thread and an N-thread run of the same seed (`digest_json`, diffed
@@ -34,7 +44,10 @@
 #include <string>
 #include <vector>
 
+#include "crypto/ecdsa.hpp"
+#include "crypto/verify_engine.hpp"
 #include "sim/sharded.hpp"
+#include "util/lru.hpp"
 
 namespace aseck::v2x {
 
@@ -60,9 +73,19 @@ struct MetroConfig {
   /// Modeled wire size of a signed BSM (payload + 1609.2 header + implicit
   /// cert + ECDSA signature) for bytes-per-vehicle accounting.
   std::size_t bsm_wire_bytes = 246;
-  /// Modeled HSM verify cost per received BSM (E17-calibrated), for
-  /// utilization accounting only.
+  /// Modeled HSM verify cost per received BSM (E17-calibrated). Used for
+  /// utilization accounting only, and only when `real_crypto` is false.
   double verify_cost_us = 350.0;
+  /// Run genuine ECDSA-P256 on the receive path: per-(vehicle, rotation)
+  /// beacon signatures, shard-local admitted-cache dedup, and the E22 RLC
+  /// batch kernel for the misses.
+  bool real_crypto = false;
+  /// Target RLC batch per shard; pending checks flush when this many
+  /// accumulate (and at every tick / end of run).
+  std::size_t crypto_batch = 64;
+  /// Per-shard capacity of the admitted (sender id, rotation) cache and the
+  /// derived-public-key cache.
+  std::size_t crypto_cache_capacity = 4096;
 };
 
 /// One simulated vehicle. POD by design: it migrates between shards inside
@@ -75,6 +98,10 @@ struct CityVehicle {
   std::uint32_t temp_id = 0;
   std::uint32_t rotations = 0;
   util::SimTime next_rotation;
+  /// Real-crypto mode: signature over the rotation beacon (id, rotations,
+  /// temp_id), produced lazily on the first transmit after each rotation.
+  crypto::EcdsaSignature beacon_sig;
+  std::uint8_t beacon_signed = 0;
 };
 
 class MetroWorld {
@@ -97,6 +124,11 @@ class MetroWorld {
     std::uint64_t rotations = 0;
     std::uint64_t bytes_tx = 0;
     std::uint64_t cross_msgs = 0;  // epoch-batch messages handled
+    // Real-crypto mode only (zero otherwise).
+    std::uint64_t beacon_signs = 0;    // one per (vehicle, rotation) that tx'd
+    std::uint64_t admit_hits = 0;      // receptions deduped by admitted cache
+    std::uint64_t verify_enqueued = 0; // receptions that queued a real verify
+    std::uint64_t verify_fail = 0;     // must stay 0 (honest senders only)
   };
   /// Deterministic merged totals (ascending shard id).
   Totals totals() const;
@@ -116,8 +148,37 @@ class MetroWorld {
 
   /// Derives the rotation-r temp id of vehicle `id` (pure function).
   static std::uint32_t temp_id_for(std::uint64_t id, std::uint32_t rotation);
+  /// Deterministic per-(vehicle, rotation) signing key — the simulation's
+  /// stand-in for pseudonym certificate provisioning: any party can derive
+  /// the public half, so receivers skip certificate transport entirely.
+  static crypto::EcdsaPrivateKey beacon_key(std::uint64_t id,
+                                            std::uint32_t rotation);
+  /// SHA-256 of the rotation beacon (id, rotations, temp_id) — what
+  /// `CityVehicle::beacon_sig` signs.
+  static crypto::Digest beacon_digest(std::uint64_t id, std::uint32_t rotation,
+                                      std::uint32_t temp_id);
 
  private:
+  struct ShardCrypto {
+    crypto::VerifyEngine engine;
+    /// Derived public keys, keyed (id << 32) | rotation.
+    util::LruCache<std::uint64_t, crypto::EcdsaPublicKey> pubs;
+    /// (sender, rotation) beacons already verified by this shard.
+    util::LruCache<std::uint64_t, char> admitted;
+    struct PendingItem {
+      std::uint64_t key;  // (id << 32) | rotation
+      crypto::EcdsaPublicKey pub;
+      crypto::Digest digest;
+      crypto::EcdsaSignature sig;
+    };
+    std::vector<PendingItem> pending;
+    sim::Counter* signs = nullptr;
+    sim::Counter* admit_hits = nullptr;
+    sim::Counter* enqueued = nullptr;
+    sim::Counter* verified_ok = nullptr;
+    sim::Counter* verified_fail = nullptr;
+  };
+
   struct ShardLocal {
     std::vector<CityVehicle> vehicles;
     sim::Counter* bsm_tx = nullptr;
@@ -128,13 +189,18 @@ class MetroWorld {
     sim::Counter* rotations = nullptr;
     sim::Counter* bytes_tx = nullptr;
     std::uint64_t tick = 0;
+    std::unique_ptr<ShardCrypto> crypto;  // real_crypto mode only
   };
 
   void tick(std::uint32_t shard_index);
   void send_bsm(sim::Shard& shard, ShardLocal& local, const CityVehicle& v,
                 util::SimTime now);
   void receive_scan(sim::Shard& shard, ShardLocal& local, double sx, double sy,
-                    std::uint64_t sender_id, bool cross);
+                    std::uint64_t sender_id, bool cross,
+                    std::uint32_t sender_rotation, std::uint32_t sender_temp_id,
+                    const crypto::EcdsaSignature& sender_sig);
+  /// Runs the accumulated RLC batch; admits what verifies.
+  void flush_crypto(ShardLocal& local);
 
   MetroConfig cfg_;
   std::unique_ptr<sim::ShardedWorld> world_;

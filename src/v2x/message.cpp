@@ -109,4 +109,22 @@ VerifyStatus verify_spdu(const Spdu& msg, const TrustStore& trust, SimTime now,
   return VerifyStatus::kOk;
 }
 
+VerifyStatus verify_spdu_presig(const Spdu& msg, const TrustStore& trust,
+                                SimTime now, const VerifyPolicy& policy,
+                                const Position* receiver_pos,
+                                const Position* claimed_pos) {
+  if (msg.generation_time > now + policy.max_age ||
+      now > msg.generation_time + policy.max_age) {
+    return VerifyStatus::kStale;
+  }
+  if (trust.validate(msg.signer, now, msg.psid) != TrustStore::Result::kOk) {
+    return VerifyStatus::kCertInvalid;
+  }
+  if (receiver_pos && claimed_pos &&
+      receiver_pos->distance_to(*claimed_pos) > policy.max_relevance_m) {
+    return VerifyStatus::kIrrelevant;
+  }
+  return VerifyStatus::kOk;
+}
+
 }  // namespace aseck::v2x

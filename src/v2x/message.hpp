@@ -69,4 +69,15 @@ VerifyStatus verify_spdu(const Spdu& msg, const TrustStore& trust, SimTime now,
                          const Position* claimed_pos = nullptr,
                          crypto::VerifyEngine* engine = nullptr);
 
+/// The cheap synchronous subset of verify_spdu — freshness, cert chain,
+/// relevance — with the payload signature check left out. Opportunistic
+/// admission runs this before provisionally accepting a message and defers
+/// only the signature to the batch pipeline. Note the status difference vs
+/// the full check: a message failing BOTH signature and relevance reports
+/// kIrrelevant here (rejected before the deferred signature ever runs).
+VerifyStatus verify_spdu_presig(const Spdu& msg, const TrustStore& trust,
+                                SimTime now, const VerifyPolicy& policy,
+                                const Position* receiver_pos = nullptr,
+                                const Position* claimed_pos = nullptr);
+
 }  // namespace aseck::v2x

@@ -203,6 +203,12 @@ void VehicleNode::rotate_pseudonym() {
   temp_id_ = util::load_be32(pseudonyms_.certs[pseudo_idx_].id().data());
 }
 
+void VehicleNode::enable_opportunistic(DeferredSpduVerifier& v) {
+  deferred_ = &v;
+  deferred_producer_ = v.add_producer();
+  k_revoke_ = trace_.kind("bsm_revoke");
+}
+
 void VehicleNode::on_spdu(const Spdu& msg, SimTime) {
   ++stats_.spdu_received;
   const SimTime now = sched_.now();
@@ -213,6 +219,46 @@ void VehicleNode::on_spdu(const Spdu& msg, SimTime) {
   if (bsm) {
     claimed_pos = bsm->pos;
     claimed = &claimed_pos;
+  }
+  if (deferred_) {
+    // Opportunistic admission: cheap checks now, provisional admit, the
+    // signature verdict arrives at the next pipeline flush.
+    const VerifyStatus pre =
+        verify_spdu_presig(msg, trust_, now, verify_policy_, &me, claimed);
+    if (pre != VerifyStatus::kOk) {
+      ++stats_.rejected[pre];
+      ASECK_TRACE(trace_, now, k_verify_fail_,
+                  "status=" + std::to_string(static_cast<int>(pre)));
+      return;
+    }
+    ++stats_.admitted_provisional;
+    std::uint32_t tid = 0;
+    if (bsm) {
+      tid = bsm->temp_id;
+      const std::string flag = misbehavior_.check(*bsm, now);
+      if (!flag.empty()) {
+        ++stats_.misbehavior_flags;
+        ASECK_TRACE(trace_, now, k_misbehavior_, flag);
+        return;
+      }
+      if (bsm_sink_) bsm_sink_(*bsm, msg, now);  // acting on unverified data
+    }
+    deferred_->submit(
+        deferred_producer_, msg, now,
+        [this, tid](bool ok, SimTime admitted_at, SimTime resolved_at) {
+          stats_.exposure_window_us.add(
+              (resolved_at - admitted_at).seconds() * 1e6);
+          if (ok) {
+            ++stats_.verified_ok;
+            return;
+          }
+          ++stats_.revoked_late;
+          ++stats_.rejected[VerifyStatus::kBadSignature];
+          ASECK_TRACE(trace_, resolved_at, k_revoke_,
+                      "temp_id=" + std::to_string(tid));
+          if (revoke_sink_) revoke_sink_(tid, admitted_at, resolved_at);
+        });
+    return;
   }
   const VerifyStatus status = verify_spdu(msg, trust_, now, verify_policy_,
                                           &me, claimed, &verify_engine_);

@@ -14,6 +14,7 @@
 
 #include "crypto/verify_engine.hpp"
 #include "v2x/grid.hpp"
+#include "v2x/opportunistic.hpp"
 #include "sim/faultplan.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
@@ -150,6 +151,10 @@ struct VehicleStats {
   std::map<VerifyStatus, std::uint64_t> rejected;
   std::uint64_t misbehavior_flags = 0;
   util::Samples verify_latency_us;  // crypto cost model per verification
+  // Opportunistic mode only:
+  std::uint64_t admitted_provisional = 0;  // passed presig checks, deferred
+  std::uint64_t revoked_late = 0;          // deferred verify failed
+  util::Samples exposure_window_us;        // admit -> verdict, sim-time
 };
 
 /// A vehicle: drives a straight (configurable-velocity) trajectory,
@@ -188,8 +193,23 @@ class VehicleNode : public V2xRadio {
   crypto::VerifyEngine& verify_engine() { return verify_engine_; }
 
   /// Hook invoked for every plausible, verified BSM (the ADAS consumer).
+  /// In opportunistic mode "verified" means "provisionally admitted" — a
+  /// revoke may follow.
   using BsmSink = std::function<void(const Bsm&, const Spdu&, SimTime)>;
   void set_bsm_sink(BsmSink sink) { bsm_sink_ = std::move(sink); }
+
+  /// Opportunistic mode: admit BSMs after the cheap synchronous checks and
+  /// defer the signature to `v`'s batch pipeline. The verifier must outlive
+  /// this node. Call before traffic starts.
+  void enable_opportunistic(DeferredSpduVerifier& v);
+  bool opportunistic() const { return deferred_ != nullptr; }
+
+  /// Hook invoked when a provisionally admitted BSM is revoked by a late
+  /// verify failure (the ADAS unwind path, E11's safety-window oracle).
+  using RevokeSink =
+      std::function<void(std::uint32_t temp_id, SimTime admitted_at,
+                         SimTime revoked_at)>;
+  void set_revoke_sink(RevokeSink sink) { revoke_sink_ = std::move(sink); }
 
   /// Model cost of one ECDSA verification in microseconds (automotive-grade
   /// HSM with P-256 accelerator).
@@ -217,6 +237,10 @@ class VehicleNode : public V2xRadio {
   sim::TraceScope trace_;
   sim::TraceId k_bsm_tx_ = 0, k_verify_fail_ = 0, k_misbehavior_ = 0;
   BsmSink bsm_sink_;
+  RevokeSink revoke_sink_;
+  DeferredSpduVerifier* deferred_ = nullptr;
+  std::size_t deferred_producer_ = 0;
+  sim::TraceId k_revoke_ = 0;
   std::unique_ptr<sim::PeriodicTask> bsm_task_;
   std::unique_ptr<sim::PeriodicTask> rotate_task_;
 };

@@ -482,6 +482,95 @@ TEST(Cert, ChainCacheBoundedUnderPseudonymChurn) {
             TrustStore::Result::kOk);
 }
 
+TEST(Opportunistic, AdmitsProvisionallyAndConfirmsHonestTraffic) {
+  sim::Scheduler sched;
+  Pki pki;
+  V2xMedium medium(sched);
+  auto b1 = pki.pca.issue_pseudonyms(pki.rng, 1, SimTime::zero(), SimTime::from_s(1000));
+  auto b2 = pki.pca.issue_pseudonyms(pki.rng, 1, SimTime::zero(), SimTime::from_s(1000));
+  VehicleNode a(sched, medium, "a", {0, 0}, 14.0, 0, pki.trust, std::move(b1));
+  VehicleNode b(sched, medium, "b", {50, 0}, -14.0, 0, pki.trust, std::move(b2));
+  DeferredSpduVerifier verifier(sched);
+  b.enable_opportunistic(verifier);
+  ASSERT_TRUE(b.opportunistic());
+  int sink_calls = 0;
+  b.set_bsm_sink([&](const Bsm&, const Spdu&, SimTime) { ++sink_calls; });
+
+  verifier.start();
+  a.start();
+  b.start();
+  sched.run_until(SimTime::from_s(2));
+  a.stop();
+  b.stop();
+  // Drain in-flight radio deliveries before the verifier's final flush.
+  sched.run_until(SimTime::from_ms(2100));
+  verifier.stop();  // drains: nothing may stay provisionally trusted
+  sched.run();
+
+  EXPECT_GT(b.stats().admitted_provisional, 15u);
+  EXPECT_EQ(b.stats().revoked_late, 0u);
+  EXPECT_GT(b.stats().verified_ok, 15u);
+  EXPECT_GT(sink_calls, 15);  // the sink fired at admit time
+  EXPECT_EQ(verifier.revoked(), 0u);
+  EXPECT_EQ(verifier.confirmed(), verifier.submitted());
+  EXPECT_EQ(verifier.pending_count(), 0u);
+  // The exposure window is real but bounded by the flush period (10 ms).
+  ASSERT_GT(b.stats().exposure_window_us.count(), 0u);
+  EXPECT_LE(b.stats().exposure_window_us.max(), 10001.0);
+}
+
+TEST(Opportunistic, RevokesForgedSignatureAfterActingOnIt) {
+  sim::Scheduler sched;
+  Pki pki;
+  V2xMedium medium(sched);
+  auto batch = pki.pca.issue_pseudonyms(pki.rng, 1, SimTime::zero(), SimTime::from_s(1000));
+  VehicleNode b(sched, medium, "b", {50, 0}, 0, 0, pki.trust, std::move(batch));
+  DeferredSpduVerifier verifier(sched);
+  b.enable_opportunistic(verifier);
+  int sink_calls = 0;
+  b.set_bsm_sink([&](const Bsm&, const Spdu&, SimTime) { ++sink_calls; });
+  std::uint32_t revoked_tid = 0;
+  SimTime revoked_at;
+  b.set_revoke_sink([&](std::uint32_t tid, SimTime, SimTime at) {
+    revoked_tid = tid;
+    revoked_at = at;
+  });
+
+  struct Injector : V2xRadio {
+    Injector() : V2xRadio("inj") {}
+    Position position() const override { return {10, 0}; }
+    void on_spdu(const Spdu&, SimTime) override {}
+  } inj;
+  medium.attach(&inj);
+
+  verifier.start();
+  sched.run_until(SimTime::from_ms(5));
+  // Valid certificate, fresh timestamp, plausible position — every check
+  // the receiver can afford at admit time passes. Only the signature is
+  // forged, and that check has been deferred.
+  const auto ent = pki.make_entity("mallory", {Psid::kBsm});
+  Bsm fake;
+  fake.temp_id = 999;
+  fake.pos = {10, 0};
+  fake.speed_mps = 10.0;
+  fake.generated = sched.now();
+  Spdu msg = Spdu::sign(Psid::kBsm, sched.now(), fake.serialize(), ent.cert,
+                        ent.key);
+  msg.signature.s = crypto::U256::from_u64(5);  // forge
+  medium.broadcast(&inj, msg);
+  sched.run_until(SimTime::from_ms(50));
+  verifier.stop();
+  sched.run();
+
+  EXPECT_EQ(b.stats().admitted_provisional, 1u);
+  EXPECT_EQ(sink_calls, 1);  // the ADAS consumer acted on the forgery
+  EXPECT_EQ(b.stats().revoked_late, 1u);
+  EXPECT_EQ(b.stats().rejected.at(VerifyStatus::kBadSignature), 1u);
+  EXPECT_EQ(revoked_tid, 999u);
+  EXPECT_GT(revoked_at, SimTime::from_ms(5));
+  EXPECT_EQ(verifier.revoked(), 1u);
+}
+
 TEST(Cert, ValidateRoutesThroughVerifyEngine) {
   Pki pki;
   crypto::VerifyEngine engine;

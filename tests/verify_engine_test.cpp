@@ -79,6 +79,17 @@ TEST(LruCache, SetCapacityEvictsDownImmediately) {
   EXPECT_EQ(c.find(5), nullptr);
 }
 
+TEST(LruCache, SetCapacityZeroRebindsToUnbounded) {
+  util::LruCache<int, int> c(2);
+  c.put(1, 1);
+  c.put(2, 2);
+  c.set_capacity(0);  // 0 = unbounded, not "evict everything"
+  for (int i = 3; i < 100; ++i) c.put(i, i);
+  EXPECT_EQ(c.size(), 99u);
+  EXPECT_EQ(c.evictions(), 0u);
+  EXPECT_NE(c.find(1), nullptr);  // nothing was dropped by the rebind
+}
+
 TEST(LruCache, ClearResetsEntriesKeepsCounters) {
   util::LruCache<int, int> c(2);
   c.put(1, 1);
@@ -205,6 +216,129 @@ TEST(VerifyEngine, ExportsMetricsUnderCryptoVerifyNames) {
   EXPECT_EQ(reg.find_counter("crypto.verify.calls")->value(), 3u);
   EXPECT_EQ(reg.find_counter("crypto.verify.cache_hits")->value(), 1u);
   EXPECT_EQ(reg.find_counter("crypto.verify.evictions")->value(), 1u);
+}
+
+// Regression (PR 9 bugfix 1): metrics export used to include wall-clock
+// verify latency, which made two identical runs export different JSON and
+// broke every digest diff downstream. The registry must now be a pure
+// function of the verify workload.
+TEST(VerifyEngine, MetricsJsonIsBitIdenticalAcrossRuns) {
+  auto run = [] {
+    const auto k1 = test_key(0x91);
+    const auto k2 = test_key(0x92);
+    crypto::VerifyEngine eng;
+    eng.set_batch_kernel(true);
+    sim::MetricsRegistry reg;
+    eng.bind_metrics(reg);
+    std::vector<crypto::Digest> digests;
+    std::vector<crypto::EcdsaSignature> sigs;
+    for (int i = 0; i < 8; ++i) {
+      util::Bytes msg = {static_cast<std::uint8_t>(i)};
+      digests.push_back(crypto::sha256(msg));
+      sigs.push_back((i % 2 ? k2 : k1).sign_digest(digests.back()));
+    }
+    std::vector<crypto::VerifyEngine::BatchItem> items;
+    for (int i = 0; i < 8; ++i) {
+      items.push_back({i % 2 ? &k2.public_key() : &k1.public_key(),
+                       digests[static_cast<std::size_t>(i)],
+                       &sigs[static_cast<std::size_t>(i)]});
+    }
+    eng.verify_batch(items);
+    eng.verify_batch(items);  // second pass: all cache hits
+    eng.verify_digest(k1.public_key(), digests[0], sigs[0]);
+    return reg.to_json();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Regression (PR 9 bugfix 2): null-pointer batch items used to be dropped
+// from the call accounting, so crypto.verify.calls undercounted the offered
+// load whenever a producer handed over a malformed job.
+TEST(VerifyEngine, MalformedBatchItemsStillCountAsCalls) {
+  const auto key = test_key(0x93);
+  const util::Bytes msg = {'z'};
+  const crypto::Digest d = crypto::sha256(msg);
+  const auto sig = key.sign_digest(d);
+
+  crypto::VerifyEngine eng;
+  sim::MetricsRegistry reg;
+  eng.bind_metrics(reg);
+  std::vector<crypto::VerifyEngine::BatchItem> items;
+  items.push_back({&key.public_key(), d, &sig});
+  items.push_back({nullptr, d, &sig});             // no key
+  items.push_back({&key.public_key(), d, nullptr});  // no signature
+  const std::vector<bool> out = eng.verify_batch(items);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_FALSE(out[2]);
+  EXPECT_EQ(eng.calls(), 3u);
+  EXPECT_EQ(reg.find_counter("crypto.verify.calls")->value(), 3u);
+}
+
+// Regression (PR 9 bugfix 3): rebinding to a fresh registry used to carry
+// only the not-yet-exported eviction delta while calls/hits carried full
+// totals, so the fresh registry disagreed with the engine's own counters.
+TEST(VerifyEngine, RebindCarriesFullTotalsForEveryCounter) {
+  const auto key = test_key(0x94);
+  crypto::VerifyEngine eng;
+  eng.set_cache_capacity(2);
+
+  sim::MetricsRegistry first;
+  eng.bind_metrics(first);
+  for (int i = 0; i < 6; ++i) {
+    util::Bytes msg = {static_cast<std::uint8_t>(i)};
+    const auto sig = key.sign(msg);
+    EXPECT_TRUE(eng.verify(key.public_key(), msg, sig));
+    EXPECT_TRUE(eng.verify(key.public_key(), msg, sig));  // immediate hit
+  }
+  ASSERT_GT(eng.evictions(), 0u);
+
+  sim::MetricsRegistry fresh;
+  eng.bind_metrics(fresh);
+  EXPECT_EQ(fresh.find_counter("crypto.verify.calls")->value(), eng.calls());
+  EXPECT_EQ(fresh.find_counter("crypto.verify.cache_hits")->value(),
+            eng.cache_hits());
+  EXPECT_EQ(fresh.find_counter("crypto.verify.evictions")->value(),
+            eng.evictions());
+  EXPECT_EQ(fresh.find_counter("crypto.verify.primitive")->value(),
+            eng.primitive_calls());
+
+  // And the first registry still agrees after more traffic on the fresh one.
+  const util::Bytes extra = {'q'};
+  const auto esig = key.sign(extra);
+  EXPECT_TRUE(eng.verify(key.public_key(), extra, esig));
+  EXPECT_EQ(fresh.find_counter("crypto.verify.calls")->value(), eng.calls());
+}
+
+TEST(VerifyEngine, BatchKernelVerdictsMatchPerItemPath) {
+  const auto k1 = test_key(0x95);
+  const auto k2 = test_key(0x96);
+  std::vector<crypto::Digest> digests;
+  std::vector<crypto::EcdsaSignature> sigs;
+  for (int i = 0; i < 12; ++i) {
+    util::Bytes msg = {static_cast<std::uint8_t>(i), 0x5a};
+    digests.push_back(crypto::sha256(msg));
+    sigs.push_back((i % 3 ? k1 : k2).sign_digest(digests.back()));
+  }
+  sigs[4].s = crypto::U256::from_u64(77);  // corrupt one
+  auto items_for = [&](std::vector<crypto::VerifyEngine::BatchItem>& items) {
+    for (int i = 0; i < 12; ++i) {
+      items.push_back({i % 3 ? &k1.public_key() : &k2.public_key(),
+                       digests[static_cast<std::size_t>(i)],
+                       &sigs[static_cast<std::size_t>(i)]});
+    }
+  };
+  crypto::VerifyEngine off;
+  crypto::VerifyEngine on;
+  on.set_batch_kernel(true);
+  std::vector<crypto::VerifyEngine::BatchItem> items;
+  items_for(items);
+  const std::vector<bool> a = off.verify_batch(items);
+  const std::vector<bool> b = on.verify_batch(items);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(on.batched_calls(), 0u);
+  EXPECT_EQ(off.batched_calls(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+// VerifyQueue/VerifyPool: canonical drain order, outcome correctness vs the
+// sequential verifier, and the headline contract — verdicts AND merged
+// metrics JSON bit-identical across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/verify_pool.hpp"
+#include "crypto/sha256.hpp"
+
+namespace aseck::crypto {
+namespace {
+
+struct Corpus {
+  std::vector<EcdsaPublicKey> pubs;
+  std::vector<Digest> digests;
+  std::vector<EcdsaSignature> sigs;
+
+  /// `n` signed digests over `keys` keys; every 7th signature corrupted.
+  explicit Corpus(std::size_t n, std::size_t keys = 3) {
+    std::vector<EcdsaPrivateKey> ks;
+    for (std::size_t k = 0; k < keys; ++k) {
+      util::Bytes secret(32, static_cast<std::uint8_t>(0x51 + k));
+      ks.push_back(EcdsaPrivateKey::from_secret(secret));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      util::Bytes msg{'p', 'o', 'o', 'l'};
+      util::append_be(msg, i, 4);
+      const Digest d = sha256(msg);
+      const EcdsaPrivateKey& k = ks[i % ks.size()];
+      EcdsaSignature sig = k.sign_digest(d);
+      if (i % 7 == 3) sig.s = add_mod(sig.s, U256::one(), p256::N());
+      pubs.push_back(k.public_key());
+      digests.push_back(d);
+      sigs.push_back(sig);
+    }
+  }
+
+  VerifyJob job(std::size_t i) const {
+    return VerifyJob{&pubs[i], digests[i], &sigs[i], i};
+  }
+  std::size_t size() const { return digests.size(); }
+};
+
+VerifyPoolConfig cfg_with(unsigned threads, std::size_t producers = 2) {
+  VerifyPoolConfig cfg;
+  cfg.threads = threads;
+  cfg.producers = producers;
+  cfg.lanes = 8;
+  cfg.batch_size = 16;
+  return cfg;
+}
+
+TEST(VerifyQueue, DrainsInProducerThenFifoOrder) {
+  VerifyQueue q(2);
+  EXPECT_EQ(q.producers(), 2u);
+  VerifyJob a, b, c;
+  a.tag = 1;
+  b.tag = 2;
+  c.tag = 3;
+  q.push(1, a);
+  q.push(0, b);
+  q.push(1, c);
+  EXPECT_EQ(q.pending(), 3u);
+  const auto jobs = q.drain();
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].tag, 2u);  // producer 0 first
+  EXPECT_EQ(jobs[1].tag, 1u);
+  EXPECT_EQ(jobs[2].tag, 3u);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.add_producer(), 2u);
+  EXPECT_EQ(q.producers(), 3u);
+}
+
+TEST(VerifyPool, OutcomesMatchSequentialVerifier) {
+  const Corpus corpus(40);
+  VerifyPool pool(cfg_with(4));
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    pool.queue().push(i % 2, corpus.job(i));
+  }
+  const auto outcomes = pool.flush();
+  ASSERT_EQ(outcomes.size(), corpus.size());
+  // Drain order: producer 0 (even i) then producer 1 (odd i).
+  for (const VerifyOutcome& o : outcomes) {
+    const std::size_t i = o.tag;
+    EXPECT_EQ(o.ok, ecdsa_verify_digest(corpus.pubs[i], corpus.digests[i],
+                                        corpus.sigs[i]))
+        << "job " << i;
+  }
+  EXPECT_EQ(pool.flushes(), 1u);
+  EXPECT_EQ(pool.jobs_done(), corpus.size());
+}
+
+TEST(VerifyPool, ThreadCountIsInvisibleInOutcomesAndMetrics) {
+  const Corpus corpus(60);
+  std::vector<std::vector<VerifyOutcome>> runs;
+  std::vector<std::string> jsons;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    VerifyPool pool(cfg_with(threads, 3));
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      pool.queue().push(i % 3, corpus.job(i));
+    }
+    // Two flushes: the second re-submits half the jobs to exercise the
+    // per-lane caches across flush boundaries.
+    auto outcomes = pool.flush();
+    for (std::size_t i = 0; i < corpus.size(); i += 2) {
+      pool.queue().push(i % 3, corpus.job(i));
+    }
+    const auto second = pool.flush();
+    outcomes.insert(outcomes.end(), second.begin(), second.end());
+    std::vector<VerifyOutcome> flat = std::move(outcomes);
+    runs.push_back(std::move(flat));
+    jsons.push_back(pool.metrics_json());
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].tag, runs[0][i].tag);
+      EXPECT_EQ(runs[r][i].ok, runs[0][i].ok);
+    }
+    EXPECT_EQ(jsons[r], jsons[0]) << "thread run " << r;
+  }
+}
+
+TEST(VerifyPool, LaneCachesDedupRepeatedTraffic) {
+  const Corpus corpus(24);
+  VerifyPool pool(cfg_with(2));
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      pool.queue().push(0, corpus.job(i));
+    }
+    pool.flush();
+  }
+  std::uint64_t hits = 0, primitives = 0;
+  for (std::size_t l = 0; l < pool.lanes(); ++l) {
+    hits += pool.lane_engine(l).cache_hits();
+    primitives += pool.lane_engine(l).primitive_calls();
+  }
+  // Round two is pure cache hits; only round one did point arithmetic.
+  EXPECT_EQ(primitives, corpus.size());
+  EXPECT_EQ(hits, corpus.size());
+}
+
+TEST(VerifyPool, MergedMetricsCountEveryCall) {
+  const Corpus corpus(20);
+  VerifyPoolConfig cfg = cfg_with(2);
+  cfg.lanes = 2;  // big per-lane bursts: every miss goes through the kernel
+  VerifyPool pool(cfg);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    pool.queue().push(0, corpus.job(i));
+  }
+  pool.flush();
+  sim::MetricsRegistry merged;
+  pool.merge_metrics_into(merged);
+  EXPECT_EQ(merged.counter_value("crypto.verify.calls"), corpus.size());
+  EXPECT_EQ(merged.counter_value("crypto.pool.jobs"), corpus.size());
+  EXPECT_EQ(merged.counter_value("crypto.pool.flushes"), 1u);
+  EXPECT_EQ(merged.counter_value("crypto.verify.batched"),
+            merged.counter_value("crypto.verify.primitive"));
+}
+
+}  // namespace
+}  // namespace aseck::crypto
