@@ -30,7 +30,15 @@ bool TamperMonitor::feed_clock(double mhz) {
 Ecu::Ecu(Scheduler& sched, std::string name, std::uint64_t uid_seed)
     : ivn::CanNode(std::move(name)),
       sched_(sched),
-      she_(make_uid(uid_seed), uid_seed ^ 0x9e3779b97f4a7c15ULL) {}
+      she_(make_uid(uid_seed), uid_seed ^ 0x9e3779b97f4a7c15ULL),
+      crypto_(
+          std::make_unique<crypto::CryptoService>(CanNode::name() + "-crypto")) {}
+
+BootChain& Ecu::install_boot_chain(BootChainConfig cfg) {
+  chain_ = std::make_unique<BootChain>(she_, flash_, *crypto_, &kv_,
+                                       std::move(cfg));
+  return *chain_;
+}
 
 void Ecu::provision(FirmwareImage fw, const crypto::Block& master_key,
                     const crypto::Block& boot_mac_key,
@@ -58,6 +66,14 @@ void Ecu::provision(FirmwareImage fw, const crypto::Block& master_key,
 }
 
 EcuState Ecu::boot() {
+  if (chain_) {
+    const BootChain::Report rep = chain_->run(sched_.now());
+    const bool up = !rep.hung && rep.measured_ok &&
+                    (rep.mode == BootMode::kNormal ||
+                     rep.mode == BootMode::kFallback);
+    state_ = up ? EcuState::kOperational : EcuState::kDegraded;
+    return state_;
+  }
   const FirmwareImage* fw = flash_.active();
   if (!fw || !she_.secure_boot(fw->code)) {
     state_ = EcuState::kDegraded;

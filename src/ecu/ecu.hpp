@@ -10,7 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "crypto/service.hpp"
+#include "ecu/boot.hpp"
 #include "ecu/flash.hpp"
+#include "ecu/kvstore.hpp"
 #include "ecu/she.hpp"
 #include "ivn/can.hpp"
 #include "ivn/secoc.hpp"
@@ -56,6 +59,13 @@ class Ecu : public ivn::CanNode {
   Flash& flash() { return flash_; }
   EcuState state() const { return state_; }
   TamperMonitor& tamper() { return tamper_; }
+  /// Device-side PSA-style crypto service. Callers register partitions and
+  /// import keys during provisioning, then seal(); the measured boot chain
+  /// (install_boot_chain) delivers the unlock verdict on every boot.
+  crypto::CryptoService& crypto_service() { return *crypto_; }
+  /// Journaled provisioning store (trust anchors, image signatures,
+  /// pseudonym/campaign config). Mounted by the boot chain.
+  KvStore& kvstore() { return kv_; }
 
   /// Factory provisioning: installs firmware, boot-MAC, and a MAC key for
   /// SecOC traffic in KEY_1.
@@ -63,8 +73,16 @@ class Ecu : public ivn::CanNode {
                  const crypto::Block& boot_mac_key,
                  const crypto::Block& secoc_key);
 
+  /// Installs a measured boot chain over this ECU's SHE + flash + service +
+  /// kvstore; subsequent boot() calls run the full chain (ROM -> boot MAC ->
+  /// app signature) instead of the legacy bare SHE path.
+  BootChain& install_boot_chain(BootChainConfig cfg);
+  BootChain* boot_chain() { return chain_.get(); }
+
   /// Powers on: secure boot of the active firmware. Operational on success,
-  /// degraded on failure (limp-home: only diagnostics traffic).
+  /// degraded on failure (limp-home: only diagnostics traffic). With an
+  /// installed boot chain, a normal/fallback measured boot is operational;
+  /// recovery mode or a hung chain is degraded.
   EcuState boot();
   void power_off();
 
@@ -116,6 +134,9 @@ class Ecu : public ivn::CanNode {
   Scheduler& sched_;
   She she_;
   Flash flash_;
+  KvStore kv_;
+  std::unique_ptr<crypto::CryptoService> crypto_;  // stable address (mutex)
+  std::unique_ptr<BootChain> chain_;
   EcuState state_ = EcuState::kOff;
   TamperMonitor tamper_;
   bool isolation_ = true;

@@ -368,7 +368,7 @@ Flash::BootReport Flash::boot(util::SimTime now) {
       slots_[i].torn_spare = false;
     }
   }
-  rep.scan_us = scan_latency_us(scanned_pages);
+  rep.scan_us = scan_latency_us(scanned_pages, rep.torn_headers_discarded);
 
   // Boot candidates: ACTIVE/CONFIRMED slots whose content survives the
   // CRC + digest scan. A candidate with torn content can never boot.

@@ -183,9 +183,19 @@ class Flash {
   static double write_latency_us(std::size_t bytes) {
     return 50.0 * static_cast<double>((bytes + 1023) / 1024);
   }
-  /// Boot recovery scan latency model: header reads + per-page CRC check.
-  static double scan_latency_us(std::size_t pages) {
-    return 20.0 + 8.0 * static_cast<double>(pages);
+  /// One slot-header copy read (each slot has two copies, so a clean boot
+  /// scan reads four).
+  static constexpr double kHeaderReadUs = 5.0;
+  /// Boot recovery scan latency model: header-copy reads + per-page CRC
+  /// check. The four intact header copies are the 20 us base; each *torn*
+  /// spare copy discovered during recovery is charged exactly once, when it
+  /// is examined and discarded — previously the model charged torn copies
+  /// through the flat base AND ignored the extra examination read, so
+  /// recovery after a header cut reported the same latency as a clean boot.
+  static double scan_latency_us(std::size_t pages,
+                                std::size_t torn_header_copies = 0) {
+    return kHeaderReadUs * static_cast<double>(4 + torn_header_copies) +
+           8.0 * static_cast<double>(pages);
   }
 
  private:

@@ -266,20 +266,31 @@ Block She::rnd() {
 
 bool She::secure_boot(util::BytesView bootloader) {
   boot_finished_ = true;
+  // Reject a zero-length image outright: a blank boot flash must read as a
+  // loud failure, not as a CMAC over the empty string that might even match
+  // a carelessly-bootstrapped BOOT_MAC.
+  if (bootloader.empty()) {
+    boot_ok_ = false;
+    last_boot_error_ = SheError::kSequenceError;
+    return false;
+  }
   const KeySlotState& key_st = slot_ref(SheSlot::kBootMacKey);
   const KeySlotState& mac_st = slot_ref(SheSlot::kBootMac);
   if (!key_st.present || !mac_st.present) {
     boot_ok_ = false;
+    last_boot_error_ = SheError::kKeyEmpty;
     return false;
   }
   const Block mac =
       crypto::aes_cmac(util::BytesView(key_st.key.data(), 16), bootloader);
   boot_ok_ = util::ct_equal(util::BytesView(mac.data(), 16),
                             util::BytesView(mac_st.key.data(), 16));
+  last_boot_error_ = boot_ok_ ? SheError::kNoError : SheError::kKeyUpdateError;
   return boot_ok_;
 }
 
 SheError She::autonomous_bootstrap(util::BytesView bootloader) {
+  if (bootloader.empty()) return SheError::kSequenceError;
   const KeySlotState& key_st = slot_ref(SheSlot::kBootMacKey);
   if (!key_st.present) return SheError::kKeyEmpty;
   KeySlotState& mac_st = slot_ref(SheSlot::kBootMac);

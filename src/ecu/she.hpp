@@ -116,12 +116,19 @@ class She {
   // --- secure boot ----------------------------------------------------------
   /// CMD_BOOT_MAC: verifies `bootloader` against the stored BOOT_MAC using
   /// BOOT_MAC_KEY. Sets the boot-ok status; boot-protected keys unlock only
-  /// if verification succeeds.
+  /// if verification succeeds. A zero-length bootloader is rejected loudly
+  /// (kSequenceError in last_boot_error()): CMACing an empty image would
+  /// happily "verify" a device whose boot flash read back blank.
   bool secure_boot(util::BytesView bootloader);
   bool boot_ok() const { return boot_ok_; }
   bool boot_finished() const { return boot_finished_; }
+  /// Why the last secure_boot failed (kNoError after a passing one):
+  /// kSequenceError = empty bootloader, kKeyEmpty = missing boot keys,
+  /// kKeyUpdateError = MAC mismatch.
+  SheError last_boot_error() const { return last_boot_error_; }
   /// Computes and stores BOOT_MAC for `bootloader` (provisioning; requires
-  /// BOOT_MAC slot writable).
+  /// BOOT_MAC slot writable). Rejects an empty bootloader (kSequenceError) —
+  /// provisioning a MAC over nothing would wedge every later secure_boot.
   SheError autonomous_bootstrap(util::BytesView bootloader);
 
   // --- debugger / tamper -----------------------------------------------------
@@ -159,6 +166,7 @@ class She {
   crypto::Drbg prng_;
   bool boot_ok_ = false;
   bool boot_finished_ = false;
+  SheError last_boot_error_ = SheError::kNoError;
   bool debugger_ = false;
 };
 

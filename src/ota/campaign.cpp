@@ -81,17 +81,49 @@ CampaignRunner::CampaignRunner(sim::Scheduler& sched,
 
 void CampaignRunner::add_vehicle(std::string id, ecu::Flash& flash,
                                  FullVerificationClient& client,
-                                 std::function<bool()> self_test) {
+                                 std::function<bool()> self_test,
+                                 ecu::KvStore* kv) {
   Vehicle v;
   v.flash = &flash;
   v.client = &client;
   v.self_test = std::move(self_test);
+  v.kv = kv;
   vehicles_.push_back(std::move(v));
   VehicleLedger led;
   led.id = std::move(id);
   led.wave = (vehicles_.size() - 1) / cfg_.wave_size;
   ledger_.push_back(std::move(led));
   reboots_.push_back(0);
+}
+
+CampaignRunner::ConfigPushReport CampaignRunner::push_config(
+    const ecu::KvTransaction& txn, int max_reboots) {
+  ConfigPushReport rep;
+  for (Vehicle& v : vehicles_) {
+    if (!v.kv) continue;
+    ++rep.vehicles;
+    bool committed = false;
+    bool rebooted = false;
+    for (int attempt = 0; attempt <= max_reboots; ++attempt) {
+      if (!v.kv->mounted() || v.kv->lost_power()) {
+        // The power-cut reboot: mount-time recovery discards the cut
+        // transaction entirely (atomicity), then we retry from scratch.
+        v.kv->mount();
+        if (attempt > 0) rebooted = true;
+      }
+      if (v.kv->commit(txn)) {
+        committed = true;
+        break;
+      }
+    }
+    if (committed) {
+      ++rep.committed;
+      if (rebooted) ++rep.retried;
+    } else {
+      ++rep.failed;
+    }
+  }
+  return rep;
 }
 
 void CampaignRunner::start(std::function<void()> done) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ecu/flash.hpp"
+#include "ecu/kvstore.hpp"
 #include "ota/client.hpp"
 #include "ota/repository.hpp"
 #include "safety/supervisor.hpp"
@@ -120,10 +121,27 @@ class CampaignRunner {
                  std::string hardware_id, CampaignConfig cfg);
 
   /// Registers a vehicle (dispatch order = registration order). The flash
-  /// and client must outlive the campaign. An empty self_test passes.
+  /// and client must outlive the campaign. An empty self_test passes. `kv`
+  /// optionally attaches the vehicle's provisioning store so push_config can
+  /// reach it.
   void add_vehicle(std::string id, ecu::Flash& flash,
                    FullVerificationClient& client,
-                   std::function<bool()> self_test = {});
+                   std::function<bool()> self_test = {},
+                   ecu::KvStore* kv = nullptr);
+
+  /// Fleet-wide transactional config push (trust anchors, image signatures,
+  /// pseudonym/campaign parameters): commits `txn` into every registered
+  /// vehicle's provisioning store. A vehicle whose commit is cut by power
+  /// loss reboots (remounts — the cut transaction is invisible, by the
+  /// kvstore's atomicity contract) and retries, up to `max_reboots` times.
+  struct ConfigPushReport {
+    std::size_t vehicles = 0;   // vehicles with an attached kvstore
+    std::size_t committed = 0;  // transaction fully applied
+    std::size_t retried = 0;    // of those, needed >=1 power-cut reboot
+    std::size_t failed = 0;     // still unapplied after max_reboots
+  };
+  ConfigPushReport push_config(const ecu::KvTransaction& txn,
+                               int max_reboots = 3);
 
   /// Schedules wave 0; `done` fires when the campaign completes or aborts.
   void start(std::function<void()> done = {});
@@ -152,6 +170,7 @@ class CampaignRunner {
     ecu::Flash* flash = nullptr;
     FullVerificationClient* client = nullptr;
     std::function<bool()> self_test;
+    ecu::KvStore* kv = nullptr;
   };
 
   void start_wave(std::size_t wave);

@@ -5,10 +5,14 @@
 namespace aseck::ota {
 
 Repository::Repository(crypto::Drbg& rng, std::string name, SimTime expiry)
-    : name_(std::move(name)), expiry_(expiry) {
+    : name_(std::move(name)), expiry_(expiry), hsm_(name_ + "-hsm") {
+  part_ = hsm_.register_partition("uptane");
+  // Same DRBG draw order as the pre-service code (kRoot..kTimestamp), so
+  // seeded repositories keep their exact key material across the migration.
+  crypto::KeyPolicy policy;
+  policy.usage = crypto::kUsageSign | crypto::kUsageExport;
   for (Role r : {Role::kRoot, Role::kTargets, Role::kSnapshot, Role::kTimestamp}) {
-    keys_[r] = std::make_unique<crypto::EcdsaPrivateKey>(
-        crypto::EcdsaPrivateKey::generate(rng));
+    keys_[r] = hsm_.generate_ecdsa(part_, rng, policy);
   }
   bundle_.targets.body.version = 0;
   bundle_.snapshot.body.version = 0;
@@ -17,7 +21,27 @@ Repository::Repository(crypto::Drbg& rng, std::string name, SimTime expiry)
   publish(SimTime::zero());
 }
 
-void Repository::rebuild_root(SimTime now, const crypto::EcdsaPrivateKey* old_root_key) {
+crypto::EcdsaPublicKey Repository::public_key(Role r) const {
+  crypto::EcdsaPublicKey pub;
+  hsm_.export_public(keys_.at(r), &pub);
+  return pub;
+}
+
+Signature Repository::sign_with(crypto::KeyHandle h,
+                                util::BytesView payload) const {
+  Signature s;
+  crypto::EcdsaPublicKey pub;
+  hsm_.export_public(h, &pub);
+  s.keyid = key_id(pub);
+  hsm_.sign(part_, h, payload, &s.sig);
+  return s;
+}
+
+Signature Repository::sign_role_payload(Role r, util::BytesView payload) const {
+  return sign_with(keys_.at(r), payload);
+}
+
+void Repository::rebuild_root(SimTime now, const crypto::KeyHandle* old_root_key) {
   RootMeta& root = bundle_.root.body;
   root.version += (root.roles.empty() ? 0 : 1);
   if (root.roles.empty()) root.version = 1;
@@ -26,20 +50,22 @@ void Repository::rebuild_root(SimTime now, const crypto::EcdsaPrivateKey* old_ro
   root.expires = now + expiry_ * 100;
   root.roles.clear();
   root.keys.clear();
-  for (const auto& [role, key] : keys_) {
+  for (const auto& [role, handle] : keys_) {
+    const crypto::EcdsaPublicKey pub = public_key(role);
     RootMeta::RoleKeys rk;
     rk.threshold = 1;
-    rk.key_ids.push_back(key_id(key->public_key()));
+    rk.key_ids.push_back(key_id(pub));
     root.roles[role] = rk;
-    root.keys[key_id_hex(rk.key_ids[0])] = key->public_key();
+    root.keys[key_id_hex(rk.key_ids[0])] = pub;
   }
   bundle_.root.signatures.clear();
   const util::Bytes payload = root.serialize();
   // Cross-sign with the previous root key so clients can chain trust.
   if (old_root_key) {
-    bundle_.root.signatures.push_back(sign_payload(*old_root_key, payload));
+    bundle_.root.signatures.push_back(sign_with(*old_root_key, payload));
   }
-  bundle_.root.signatures.push_back(sign_payload(*keys_.at(Role::kRoot), payload));
+  bundle_.root.signatures.push_back(
+      sign_with(keys_.at(Role::kRoot), payload));
 }
 
 void Repository::add_target(const std::string& image_name,
@@ -103,19 +129,28 @@ std::optional<util::Bytes> Repository::download_range(
 }
 
 const crypto::EcdsaPrivateKey& Repository::role_key(Role r) const {
-  return *keys_.at(r);
+  const auto it = exported_.find(r);
+  if (it != exported_.end()) return it->second;
+  // The compromise primitive: role keys carry kUsageExport, so an attacker
+  // with repository access walks off with the scalar. Deterministic ECDSA
+  // makes the reconstructed key sign bit-identically to the service's copy.
+  util::Bytes secret;
+  hsm_.export_secret(part_, keys_.at(r), &secret);
+  return exported_.emplace(r, crypto::EcdsaPrivateKey::from_secret(secret))
+      .first->second;
 }
 
 void Repository::rotate_key(crypto::Drbg& rng, Role r, SimTime now) {
   invalidate_snapshot();
-  // Keep the old root key for cross-signing the new root metadata.
-  std::unique_ptr<crypto::EcdsaPrivateKey> old_root;
-  if (r == Role::kRoot) {
-    old_root = std::move(keys_[Role::kRoot]);
-  }
-  keys_[r] = std::make_unique<crypto::EcdsaPrivateKey>(
-      crypto::EcdsaPrivateKey::generate(rng));
-  rebuild_root(now, old_root.get());
+  exported_.erase(r);  // any stolen copy is now stale
+  // Keep the old handle around: a rotated *root* still cross-signs the new
+  // root metadata so clients can chain trust; then the key is destroyed.
+  const crypto::KeyHandle old = keys_.at(r);
+  crypto::KeyPolicy policy;
+  policy.usage = crypto::kUsageSign | crypto::kUsageExport;
+  keys_[r] = hsm_.generate_ecdsa(part_, rng, policy);
+  rebuild_root(now, r == Role::kRoot ? &old : nullptr);
+  hsm_.destroy(part_, old);
   publish(now);
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "crypto/drbg.hpp"
+#include "crypto/service.hpp"
 #include "ota/metadata.hpp"
 #include "sim/faultplan.hpp"
 
@@ -73,6 +74,9 @@ class Repository {
 
   // --- key compromise / rotation experiments --------------------------------
   /// Returns the private key of a role (the "compromise" primitive in E5).
+  /// Role keys are provisioned with kUsageExport exactly so this attack
+  /// surface stays modelable; the returned key is reconstructed from the
+  /// service's export and signs bit-identically (deterministic ECDSA).
   const crypto::EcdsaPrivateKey& role_key(Role r) const;
   /// Replaces a role's key, bumping root version (key rotation). Clients
   /// accept the new root because it is signed with the *old* root key too.
@@ -90,11 +94,19 @@ class Repository {
   template <typename Body>
   void sign_role(Signed<Body>& s, Role r) const {
     s.signatures.clear();
-    s.signatures.push_back(sign_payload(*keys_.at(r), s.body.serialize()));
+    s.signatures.push_back(sign_role_payload(r, s.body.serialize()));
   }
 
+  /// The repository's backend HSM. Key material never leaves it except
+  /// through the policy-gated export used by role_key().
+  const crypto::CryptoService& hsm() const { return hsm_; }
+
  private:
-  void rebuild_root(SimTime now, const crypto::EcdsaPrivateKey* old_root_key);
+  void rebuild_root(SimTime now, const crypto::KeyHandle* old_root_key);
+  /// Signs `payload` with the role's service-held key (keyid + signature).
+  Signature sign_role_payload(Role r, util::BytesView payload) const;
+  Signature sign_with(crypto::KeyHandle h, util::BytesView payload) const;
+  crypto::EcdsaPublicKey public_key(Role r) const;
   void invalidate_snapshot() {
     ++generation_;
     snapshot_.reset();
@@ -102,7 +114,14 @@ class Repository {
 
   std::string name_;
   SimTime expiry_;
-  std::map<Role, std::unique_ptr<crypto::EcdsaPrivateKey>> keys_;
+  /// Backend HSM: never sealed (kProvisioning), so runtime key rotation
+  /// keeps working while all role keys live behind the service boundary.
+  crypto::CryptoService hsm_;
+  crypto::PartitionId part_ = 0;
+  std::map<Role, crypto::KeyHandle> keys_;
+  /// role_key() cache: reconstructed-from-export private keys (stable
+  /// references for the E5 compromise experiments). Invalidated on rotation.
+  mutable std::map<Role, crypto::EcdsaPrivateKey> exported_;
   std::map<std::string, util::Bytes> images_;
   MetadataBundle bundle_;
   std::uint64_t generation_ = 0;

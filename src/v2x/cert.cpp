@@ -31,10 +31,37 @@ CertId Certificate::id() const {
   return out;
 }
 
+namespace {
+/// One backend HSM per CA, with the signing key behind a handle. The DRBG
+/// draw order matches the pre-service code (one generate per CA), so seeded
+/// hierarchies keep their exact key material across the migration.
+struct CaHsm {
+  std::shared_ptr<crypto::CryptoService> svc;
+  crypto::PartitionId part = 0;
+  crypto::KeyHandle key;
+};
+CaHsm make_ca_hsm(crypto::Drbg& rng, const std::string& name) {
+  CaHsm h;
+  h.svc = std::make_shared<crypto::CryptoService>(name + "-hsm");
+  h.part = h.svc->register_partition("ca");
+  crypto::KeyPolicy policy;
+  policy.usage = crypto::kUsageSign;  // the CA key never leaves the service
+  h.key = h.svc->generate_ecdsa(h.part, rng, policy);
+  return h;
+}
+}  // namespace
+
+crypto::EcdsaSignature CertificateAuthority::sign_tbs(
+    util::BytesView tbs) const {
+  crypto::EcdsaSignature sig;
+  hsm_->sign(part_, key_, tbs, &sig);
+  return sig;
+}
+
 CertificateAuthority CertificateAuthority::make_root(crypto::Drbg& rng,
                                                      std::string name,
                                                      SimTime valid_until) {
-  auto key = crypto::EcdsaPrivateKey::generate(rng);
+  CaHsm h = make_ca_hsm(rng, name);
   Certificate cert;
   cert.subject = std::move(name);
   cert.issuer_id = {};  // self-signed
@@ -43,19 +70,22 @@ CertificateAuthority CertificateAuthority::make_root(crypto::Drbg& rng,
   cert.app_permissions = {Psid::kBsm, Psid::kIntersection, Psid::kRoadsideAlert,
                           Psid::kMisbehaviorReport, Psid::kOtaDistribution};
   cert.is_ca = true;
-  cert.verify_key = key.public_key();
-  cert.signature = key.sign(cert.tbs_bytes());
-  return CertificateAuthority(std::move(key), std::move(cert));
+  h.svc->export_public(h.key, &cert.verify_key);
+  CertificateAuthority ca(std::move(h.svc), h.part, h.key, std::move(cert));
+  ca.cert_.signature = ca.sign_tbs(ca.cert_.tbs_bytes());
+  return ca;
 }
 
 CertificateAuthority CertificateAuthority::make_sub(
     crypto::Drbg& rng, std::string name, const CertificateAuthority& parent,
     SimTime valid_until) {
-  auto key = crypto::EcdsaPrivateKey::generate(rng);
-  Certificate cert = parent.issue(name, key.public_key(),
+  CaHsm h = make_ca_hsm(rng, name);
+  crypto::EcdsaPublicKey pub;
+  h.svc->export_public(h.key, &pub);
+  Certificate cert = parent.issue(name, pub,
                                   parent.certificate().app_permissions,
                                   SimTime::zero(), valid_until, /*is_ca=*/true);
-  return CertificateAuthority(std::move(key), std::move(cert));
+  return CertificateAuthority(std::move(h.svc), h.part, h.key, std::move(cert));
 }
 
 Certificate CertificateAuthority::issue(const std::string& subject,
@@ -70,7 +100,7 @@ Certificate CertificateAuthority::issue(const std::string& subject,
   cert.app_permissions = std::move(psids);
   cert.is_ca = is_ca;
   cert.verify_key = key;
-  cert.signature = key_.sign(cert.tbs_bytes());
+  cert.signature = sign_tbs(cert.tbs_bytes());
   return cert;
 }
 

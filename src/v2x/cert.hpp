@@ -13,7 +13,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "crypto/ecdsa.hpp"
+#include "crypto/service.hpp"
 #include "crypto/verify_engine.hpp"
 #include "util/bytes.hpp"
 #include "util/lru.hpp"
@@ -68,7 +71,12 @@ class Crl {
   std::set<CertId, Less> revoked_;
 };
 
-/// A certificate authority: holds a signing key and its own certificate.
+/// A certificate authority: its signing key lives inside a backend
+/// CryptoService (never sealed, so issuance keeps working at runtime) and is
+/// reachable only through the CA's opaque handle — `issue()` is a service
+/// sign call, and nothing outside the service can read the key. Pseudonym
+/// *end-entity* keys are different: they are generated for, and handed to,
+/// the requesting vehicle — that is the provisioning channel, not a leak.
 class CertificateAuthority {
  public:
   /// Creates a self-signed root CA.
@@ -96,10 +104,18 @@ class CertificateAuthority {
   PseudonymBatch issue_pseudonyms(crypto::Drbg& rng, std::size_t n,
                                   SimTime from, SimTime lifetime) const;
 
+  /// The CA's backend HSM (observation: op/denial counters, state).
+  const crypto::CryptoService& hsm() const { return *hsm_; }
+
  private:
-  CertificateAuthority(crypto::EcdsaPrivateKey key, Certificate cert)
-      : key_(std::move(key)), cert_(std::move(cert)) {}
-  crypto::EcdsaPrivateKey key_;
+  CertificateAuthority(std::shared_ptr<crypto::CryptoService> hsm,
+                       crypto::PartitionId part, crypto::KeyHandle key,
+                       Certificate cert)
+      : hsm_(std::move(hsm)), part_(part), key_(key), cert_(std::move(cert)) {}
+  crypto::EcdsaSignature sign_tbs(util::BytesView tbs) const;
+  std::shared_ptr<crypto::CryptoService> hsm_;  // CAs are value types; shared
+  crypto::PartitionId part_ = 0;
+  crypto::KeyHandle key_;
   Certificate cert_;
 };
 

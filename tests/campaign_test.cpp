@@ -291,5 +291,65 @@ TEST(RetryPolicy, JitterSequenceIsBitIdenticalPerSeed) {
   EXPECT_NE(a, c);
 }
 
+TEST(Campaign, ConfigPushSurvivesPowerCutAndBoundsRetries) {
+  FleetFixture f;
+  CampaignRunner runner(f.sched, f.director, f.images, "vecu-fw", "vecu-hw",
+                        f.config());
+  // Three vehicles with provisioning stores, one legacy vehicle without.
+  std::vector<std::unique_ptr<ecu::KvStore>> kvs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.flashes.push_back(std::make_unique<Flash>());
+    f.flashes.back()->provision(
+        FirmwareImage{"vecu-fw", 1, patterned(Flash::kPageSize, 0x11)});
+    f.clients.push_back(std::make_unique<FullVerificationClient>(
+        "vm" + std::to_string(i), f.director.trusted_root(),
+        f.images.trusted_root()));
+    if (i < 3) {
+      kvs.push_back(std::make_unique<ecu::KvStore>());
+      kvs.back()->mount();
+    }
+    runner.add_vehicle("vm" + std::to_string(i), *f.flashes.back(),
+                       *f.clients.back(), {}, i < 3 ? kvs[i].get() : nullptr);
+  }
+
+  // Vehicle 1's commit is cut mid-transaction: it must reboot (remount) and
+  // retry; by the kvstore's atomicity contract the cut attempt is invisible.
+  FaultPlan plan{f.sched, 1};
+  FaultSpec cut;
+  cut.target = "kv1";
+  cut.kind = FaultKind::kPowerLoss;
+  cut.probability = 0.0;
+  cut.page_index = 1;
+  plan.window(SimTime::zero(), SimTime::from_s(3600), cut);
+  f.sched.run_until(SimTime::from_ms(1));
+  kvs[1]->set_fault_port(&plan.port("kv1"));
+
+  ecu::KvTransaction txn;
+  txn.put("boot.anchor", Bytes(65, 0x04));
+  txn.put("campaign.wave", Bytes{2});
+  const auto rep = runner.push_config(txn);
+  EXPECT_EQ(rep.vehicles, 3u);  // the kv-less vehicle is not counted
+  EXPECT_EQ(rep.committed, 3u);
+  EXPECT_EQ(rep.retried, 1u);
+  EXPECT_EQ(rep.failed, 0u);
+  for (const auto& kv : kvs) {
+    ASSERT_NE(kv->get("boot.anchor"), nullptr);
+    EXPECT_EQ(*kv->get("campaign.wave"), Bytes{2});
+  }
+
+  // A store cut on EVERY write can never commit: the retry loop is bounded
+  // and reports the failure instead of spinning.
+  FaultSpec storm = cut;
+  storm.target = "kv0";
+  storm.probability = 1.0;
+  storm.page_index = -1;
+  plan.window(SimTime::from_ms(2), SimTime::from_s(3600), storm);
+  f.sched.run_until(SimTime::from_ms(3));
+  kvs[0]->set_fault_port(&plan.port("kv0"));
+  const auto rep2 = runner.push_config(txn, /*max_reboots=*/2);
+  EXPECT_EQ(rep2.committed, 2u);
+  EXPECT_EQ(rep2.failed, 1u);
+}
+
 }  // namespace
 }  // namespace aseck::ota

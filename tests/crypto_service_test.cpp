@@ -1,0 +1,197 @@
+// PSA-style CryptoService: partition ownership, usage policies, the
+// sealed/measured lifecycle, SHE-style boot protection, and the compile-time
+// isolation properties (unforgeable handles, unnameable raw-key type).
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "crypto/drbg.hpp"
+#include "crypto/service.hpp"
+
+namespace aseck::crypto {
+namespace {
+
+// The O4 isolation boundary, pinned at compile time: a handle cannot be
+// forged from an integer, a service cannot be copied out from under its
+// keys, and KeyHandle is the only currency callers hold.
+static_assert(!std::is_constructible_v<KeyHandle, std::uint32_t>,
+              "KeyHandle must not be forgeable from an id");
+static_assert(std::is_default_constructible_v<KeyHandle>,
+              "the invalid handle must remain constructible");
+static_assert(!std::is_copy_constructible_v<CryptoService>,
+              "CryptoService must be unique per device");
+static_assert(!std::is_copy_assignable_v<CryptoService>);
+
+Block block(std::uint8_t fill) {
+  Block b{};
+  b.fill(fill);
+  return b;
+}
+
+TEST(CryptoService, PartitionOwnershipIsEnforced) {
+  CryptoService svc;
+  const PartitionId ota = svc.register_partition("ota");
+  const PartitionId v2x = svc.register_partition("v2x");
+  ASSERT_NE(ota, 0);
+  ASSERT_NE(v2x, 0);
+  EXPECT_EQ(svc.partition_name(ota), "ota");
+
+  Drbg rng(1);
+  KeyPolicy sign_only;
+  sign_only.usage = kUsageSign;
+  const KeyHandle h = svc.generate_ecdsa(ota, rng, sign_only);
+  ASSERT_TRUE(h.valid());
+
+  EcdsaSignature sig;
+  EXPECT_EQ(svc.sign(ota, h, util::from_string("msg"), &sig),
+            ServiceStatus::kOk);
+  // Another partition cannot use the key, even knowing the handle.
+  EXPECT_EQ(svc.sign(v2x, h, util::from_string("msg"), &sig),
+            ServiceStatus::kNotOwner);
+  // Public halves are not secret: any caller may fetch them.
+  EcdsaPublicKey pub;
+  EXPECT_EQ(svc.export_public(h, &pub), ServiceStatus::kOk);
+  EXPECT_TRUE(ecdsa_verify(pub, util::from_string("msg"), sig));
+  EXPECT_EQ(svc.denials(ServiceStatus::kNotOwner), 1u);
+}
+
+TEST(CryptoService, UsagePolicyGatesEachOperation) {
+  CryptoService svc;
+  const PartitionId p = svc.register_partition("app");
+  Drbg rng(2);
+  KeyPolicy sign_only;
+  sign_only.usage = kUsageSign;
+  const KeyHandle ecdsa = svc.generate_ecdsa(p, rng, sign_only);
+  KeyPolicy mac_only;
+  mac_only.usage = kUsageMac;
+  const KeyHandle cmac = svc.import_mac(p, block(0x11), mac_only);
+
+  EcdsaSignature sig;
+  Block tag;
+  util::Bytes secret;
+  // Sign-only ECDSA key: no export, and MAC is the wrong algorithm.
+  EXPECT_EQ(svc.export_secret(p, ecdsa, &secret), ServiceStatus::kUsageDenied);
+  EXPECT_EQ(svc.mac(p, ecdsa, util::from_string("m"), &tag),
+            ServiceStatus::kUsageDenied);
+  // MAC-only key: works for MAC, wrong algo for sign.
+  EXPECT_EQ(svc.mac(p, cmac, util::from_string("m"), &tag), ServiceStatus::kOk);
+  EXPECT_EQ(svc.sign(p, cmac, util::from_string("m"), &sig),
+            ServiceStatus::kUsageDenied);
+  // An exportable key round-trips its exact material.
+  KeyPolicy exportable;
+  exportable.usage = kUsageMac | kUsageExport;
+  const KeyHandle exp = svc.import_mac(p, block(0x22), exportable);
+  ASSERT_EQ(svc.export_secret(p, exp, &secret), ServiceStatus::kOk);
+  EXPECT_EQ(secret, util::Bytes(16, 0x22));
+}
+
+TEST(CryptoService, ExportedEcdsaKeySignsBitIdentically) {
+  // The E5 compromise primitive: deterministic ECDSA means a stolen
+  // (exported) scalar reproduces the service's signatures exactly.
+  CryptoService svc;
+  const PartitionId p = svc.register_partition("uptane");
+  Drbg rng(3);
+  KeyPolicy policy;
+  policy.usage = kUsageSign | kUsageExport;
+  const KeyHandle h = svc.generate_ecdsa(p, rng, policy);
+
+  util::Bytes secret;
+  ASSERT_EQ(svc.export_secret(p, h, &secret), ServiceStatus::kOk);
+  const EcdsaPrivateKey stolen = EcdsaPrivateKey::from_secret(secret);
+
+  EcdsaSignature from_service;
+  ASSERT_EQ(svc.sign(p, h, util::from_string("payload"), &from_service),
+            ServiceStatus::kOk);
+  EXPECT_EQ(stolen.sign(util::from_string("payload")), from_service);
+}
+
+TEST(CryptoService, SealedServiceRefusesEverythingUntilMeasured) {
+  CryptoService svc;
+  const PartitionId p = svc.register_partition("boot");
+  Drbg rng(4);
+  KeyPolicy policy;
+  policy.usage = kUsageSign;
+  const KeyHandle h = svc.generate_ecdsa(p, rng, policy);
+  svc.seal();
+  EXPECT_EQ(svc.state(), CryptoService::State::kSealed);
+
+  EcdsaSignature sig;
+  EXPECT_EQ(svc.sign(p, h, util::from_string("m"), &sig),
+            ServiceStatus::kSealed);
+  // Creation is over, too: sealing ends provisioning for good.
+  EXPECT_FALSE(svc.generate_ecdsa(p, rng, policy).valid());
+  EXPECT_EQ(svc.register_partition("late"), 0);
+
+  svc.on_measurement(true);
+  EXPECT_EQ(svc.state(), CryptoService::State::kOperational);
+  EXPECT_EQ(svc.sign(p, h, util::from_string("m"), &sig), ServiceStatus::kOk);
+  // A second (forged) measurement cannot change the verdict.
+  svc.on_measurement(false);
+  EXPECT_EQ(svc.state(), CryptoService::State::kOperational);
+}
+
+TEST(CryptoService, FailedMeasurementLocksOnlyBootProtectedKeys) {
+  CryptoService svc;
+  const PartitionId p = svc.register_partition("ecu");
+  KeyPolicy protected_mac;
+  protected_mac.usage = kUsageMac;
+  protected_mac.boot_protected = true;
+  KeyPolicy plain_mac;
+  plain_mac.usage = kUsageMac;
+  const KeyHandle locked = svc.import_mac(p, block(0x33), protected_mac);
+  const KeyHandle diag = svc.import_mac(p, block(0x44), plain_mac);
+  svc.seal();
+  svc.on_measurement(false);
+  EXPECT_EQ(svc.state(), CryptoService::State::kFailedBoot);
+
+  Block tag;
+  // SHE semantics: boot-protected keys stay dark, limp-home diag keys work.
+  EXPECT_EQ(svc.mac(p, locked, util::from_string("m"), &tag),
+            ServiceStatus::kBootLocked);
+  EXPECT_EQ(svc.mac(p, diag, util::from_string("m"), &tag), ServiceStatus::kOk);
+
+  // Reboot (relock) + passing measurement unlocks the protected key.
+  svc.relock();
+  EXPECT_EQ(svc.state(), CryptoService::State::kSealed);
+  svc.on_measurement(true);
+  EXPECT_EQ(svc.mac(p, locked, util::from_string("m"), &tag),
+            ServiceStatus::kOk);
+}
+
+TEST(CryptoService, InvalidAndDestroyedHandlesAreRejected) {
+  CryptoService svc;
+  const PartitionId p = svc.register_partition("app");
+  Drbg rng(5);
+  KeyPolicy policy;
+  policy.usage = kUsageSign;
+  const KeyHandle h = svc.generate_ecdsa(p, rng, policy);
+  EcdsaSignature sig;
+  EXPECT_EQ(svc.sign(p, KeyHandle{}, util::from_string("m"), &sig),
+            ServiceStatus::kBadHandle);
+  EXPECT_EQ(svc.destroy(p, h), ServiceStatus::kOk);
+  EXPECT_EQ(svc.sign(p, h, util::from_string("m"), &sig),
+            ServiceStatus::kBadHandle);
+  EXPECT_EQ(svc.key_count(), 0u);
+}
+
+TEST(CryptoService, DeterministicJsonExport) {
+  CryptoService a("svc"), b("svc");
+  for (CryptoService* s : {&a, &b}) {
+    const PartitionId p = s->register_partition("app");
+    Drbg rng(6);
+    KeyPolicy policy;
+    policy.usage = kUsageSign;
+    const KeyHandle h = s->generate_ecdsa(p, rng, policy);
+    s->seal();
+    EcdsaSignature sig;
+    s->sign(p, h, util::from_string("denied"), &sig);  // kSealed denial
+    s->on_measurement(true);
+    s->sign(p, h, util::from_string("ok"), &sig);
+  }
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_NE(a.to_json().find("\"sealed\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aseck::crypto

@@ -356,5 +356,29 @@ TEST(FlashPowerLoss, PoissonPerWriteCutsAreSurvivable) {
   }
 }
 
+TEST(FlashPowerLoss, TornHeaderCopiesAreChargedInScanLatency) {
+  // Pin the closed form: four intact header copies plus one read per torn
+  // spare copy examined and discarded, then the per-page CRC scan.
+  EXPECT_EQ(Flash::scan_latency_us(10), 5.0 * 4 + 8.0 * 10);
+  EXPECT_EQ(Flash::scan_latency_us(10, 1), 5.0 * 5 + 8.0 * 10);
+  EXPECT_EQ(Flash::scan_latency_us(0, 2), 5.0 * 6);
+
+  // End to end: a cut at the activation header leaves one torn spare, so
+  // that recovery boot must report exactly one header-read more than the
+  // clean re-boot right after it (which has no torn copy left to examine).
+  CutRig rig;
+  Flash flash;
+  flash.provision(image(1, 1000, 0x01));
+  ASSERT_TRUE(flash.stage(image(2, Flash::kPageSize, 0x02)));
+  flash.set_fault_port(rig.arm(0));
+  ASSERT_FALSE(flash.activate());
+
+  const Flash::BootReport torn = flash.boot();
+  EXPECT_EQ(torn.torn_headers_discarded, 1u);
+  const Flash::BootReport clean = flash.boot();
+  EXPECT_EQ(clean.torn_headers_discarded, 0u);
+  EXPECT_EQ(torn.scan_us, clean.scan_us + Flash::kHeaderReadUs);
+}
+
 }  // namespace
 }  // namespace aseck::ecu
